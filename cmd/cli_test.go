@@ -1,0 +1,147 @@
+// Package cmd_test builds every CLI binary once and exercises its
+// primary paths end to end — the integration layer unit tests cannot
+// reach. Skipped under -short (it compiles eight binaries).
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var tools = []string{
+	"protozoa-sim", "protozoa-table1", "protozoa-figs", "protozoa-verify",
+	"protozoa-trace", "protozoa-profile", "protozoa-sweep", "protozoa-report",
+}
+
+// buildAll compiles the binaries into a shared temp dir.
+func buildAll(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	for _, tool := range tools {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./"+tool)
+		cmd.Dir = mustSelfDir(t)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, b)
+		}
+	}
+	return dir
+}
+
+// mustSelfDir returns the cmd/ directory (this test file's package dir).
+func mustSelfDir(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIs(t *testing.T) {
+	dir := buildAll(t)
+	bin := func(name string) string { return filepath.Join(dir, name) }
+
+	t.Run("sim", func(t *testing.T) {
+		out := run(t, bin("protozoa-sim"), "-workload", "fft", "-cores", "4", "-scale", "1", "-protocol", "mw")
+		for _, want := range []string{"workload fft under Protozoa-MW", "L1 hits/misses", "miss classes", "energy"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("sim output missing %q", want)
+			}
+		}
+		out = run(t, bin("protozoa-sim"), "-list")
+		if !strings.Contains(out, "linear-regression") || !strings.Contains(out, "micro-ticket-lock") {
+			t.Error("sim -list missing workloads")
+		}
+		out = run(t, bin("protozoa-sim"), "-workload", "fft", "-cores", "4", "-scale", "1", "-json")
+		if !strings.Contains(out, "\"L1Misses\"") {
+			t.Error("sim -json missing counters")
+		}
+		out = run(t, bin("protozoa-sim"), "-workload", "fft", "-cores", "4", "-scale", "1", "-msglog", "5", "-timeline", "5000")
+		if !strings.Contains(out, "coherence messages") || !strings.Contains(out, "timeline") {
+			t.Error("sim instrumentation output incomplete")
+		}
+	})
+
+	t.Run("table1", func(t *testing.T) {
+		out := run(t, bin("protozoa-table1"), "-cores", "4", "-scale", "1", "-workloads", "word-count")
+		if !strings.Contains(out, "word-count") || !strings.Contains(out, "optimal") {
+			t.Errorf("table1 output:\n%s", out)
+		}
+	})
+
+	t.Run("figs", func(t *testing.T) {
+		csv := filepath.Join(dir, "figs.csv")
+		out := run(t, bin("protozoa-figs"), "-fig", "13", "-cores", "4", "-scale", "1",
+			"-workloads", "swaptions", "-csv", csv)
+		if !strings.Contains(out, "swaptions") {
+			t.Errorf("figs output:\n%s", out)
+		}
+		if data, err := os.ReadFile(csv); err != nil || !strings.Contains(string(data), "mpki") {
+			t.Errorf("figs csv: %v", err)
+		}
+		out = run(t, bin("protozoa-figs"), "-fig", "16", "-cores", "4", "-scale", "1", "-workloads", "swaptions")
+		if !strings.Contains(out, "coherence") {
+			t.Error("fig 16 missing classification")
+		}
+	})
+
+	t.Run("verify", func(t *testing.T) {
+		out := run(t, bin("protozoa-verify"), "-accesses", "8000", "-cores", "4")
+		if strings.Count(out, "OK") != 4 {
+			t.Errorf("verify output:\n%s", out)
+		}
+	})
+
+	t.Run("trace", func(t *testing.T) {
+		pztr := filepath.Join(dir, "t.pztr")
+		run(t, bin("protozoa-trace"), "-dump", "-workload", "fft", "-cores", "4", "-scale", "1", "-o", pztr)
+		out := run(t, bin("protozoa-trace"), "-info", pztr)
+		if !strings.Contains(out, "4 cores") {
+			t.Errorf("trace -info:\n%s", out)
+		}
+		out = run(t, bin("protozoa-trace"), "-run", pztr, "-protocol", "mesi")
+		if !strings.Contains(out, "under MESI") {
+			t.Errorf("trace -run:\n%s", out)
+		}
+	})
+
+	t.Run("profile", func(t *testing.T) {
+		out := run(t, bin("protozoa-profile"), "-cores", "4", "-workload", "canneal")
+		if !strings.Contains(out, "true-shared") {
+			t.Errorf("profile output:\n%s", out)
+		}
+	})
+
+	t.Run("sweep", func(t *testing.T) {
+		out := run(t, bin("protozoa-sweep"), "-workloads", "fft", "-protocols", "mesi",
+			"-knobs", "baseline,crossbar", "-cores", "4")
+		if strings.Count(out, "\n") != 3 { // header + 2 rows
+			t.Errorf("sweep output:\n%s", out)
+		}
+	})
+
+	t.Run("report", func(t *testing.T) {
+		out := run(t, bin("protozoa-report"), "-cores", "4", "-scale", "1", "-workloads", "swaptions")
+		if !strings.Contains(out, "# Protozoa reproduction report") ||
+			!strings.Contains(out, "Headline geomeans") {
+			t.Errorf("report output truncated")
+		}
+	})
+}

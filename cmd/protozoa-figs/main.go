@@ -1,0 +1,84 @@
+// protozoa-figs regenerates the paper's evaluation figures (9-15) by
+// running the workload x protocol matrix once and rendering each
+// figure's rows as a text table.
+//
+// Usage:
+//
+//	protozoa-figs                 # all figures
+//	protozoa-figs -fig 13         # one figure
+//	protozoa-figs -workloads linear-regression,histogram -scale 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"protozoa"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number 9-15 (0 = all)")
+	cores := flag.Int("cores", 16, "number of cores (1, 2, 4, or 16)")
+	scale := flag.Int("scale", 2, "workload iteration multiplier")
+	subset := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	csvOut := flag.String("csv", "", "also export all metrics to this CSV file")
+	chart := flag.Bool("chart", false, "render bar charts instead of tables (figures 9, 13, 15)")
+	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
+	flag.Parse()
+
+	if *fig != 0 && (*fig < 9 || *fig > 16) {
+		fmt.Fprintln(os.Stderr, "protozoa-figs: -fig must be 9..16 (or 0 for all; 16 = miss classification)")
+		os.Exit(1)
+	}
+
+	o := protozoa.Options{Cores: *cores, Scale: *scale, TraceSeed: *seed}
+	if *subset != "" {
+		o.Workloads = strings.Split(*subset, ",")
+	}
+	m, err := protozoa.Collect(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protozoa-figs:", err)
+		os.Exit(1)
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "protozoa-figs:", err)
+			os.Exit(1)
+		}
+		if err := m.ExportCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "protozoa-figs:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "protozoa-figs:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvOut)
+	}
+	renders := map[int]func() string{
+		9:  m.Fig9Traffic,
+		10: m.Fig10Control,
+		11: m.Fig11Owners,
+		12: m.Fig12BlockDist,
+		13: m.Fig13MPKI,
+		14: m.Fig14Exec,
+		15: m.Fig15FlitHops,
+		16: m.FigMissClass, // beyond the paper: cold/capacity/coherence/granularity
+	}
+	if *chart {
+		renders[9] = m.ChartTraffic
+		renders[13] = m.ChartMPKI
+		renders[15] = m.ChartFlitHops
+	}
+	if *fig != 0 {
+		fmt.Print(renders[*fig]())
+		return
+	}
+	for f := 9; f <= 16; f++ {
+		fmt.Print(renders[f]())
+		fmt.Println()
+	}
+}

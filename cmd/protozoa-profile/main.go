@@ -1,0 +1,50 @@
+// protozoa-profile prints the Section 2 motivation analysis for the
+// workload suite: per-region sharing classification (private /
+// read-only / false-shared / true-shared) and the spatial footprint —
+// the application-intrinsic properties that make fixed-granularity
+// hierarchies waste bandwidth and ping-pong falsely shared lines.
+//
+// Usage:
+//
+//	protozoa-profile                      # the whole suite, summary table
+//	protozoa-profile -workload h2         # one workload, full report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"protozoa/internal/mem"
+	"protozoa/internal/profile"
+	"protozoa/internal/workloads"
+)
+
+func main() {
+	one := flag.String("workload", "", "profile a single workload in detail")
+	cores := flag.Int("cores", 16, "number of cores")
+	scale := flag.Int("scale", 1, "workload iteration multiplier")
+	flag.Parse()
+
+	if *one != "" {
+		spec, err := workloads.Get(*one)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "protozoa-profile:", err)
+			os.Exit(1)
+		}
+		r := profile.Analyze(spec.Streams(*cores, *scale), mem.DefaultGeometry)
+		fmt.Print(r.Render(*one))
+		return
+	}
+
+	fmt.Printf("%-18s %9s %10s %13s %12s %10s\n",
+		"workload", "private", "read-only", "false-shared", "true-shared", "footprint")
+	for _, spec := range workloads.All() {
+		r := profile.Analyze(spec.Streams(*cores, *scale), mem.DefaultGeometry)
+		fmt.Printf("%-18s %8.1f%% %9.1f%% %12.1f%% %11.1f%% %9.0f%%\n",
+			spec.Name,
+			r.ClassPct(profile.Private), r.ClassPct(profile.ReadOnlyShared),
+			r.ClassPct(profile.FalseShared), r.ClassPct(profile.TrueShared),
+			r.FootprintPct())
+	}
+}

@@ -1,0 +1,37 @@
+// protozoa-report reproduces the paper's entire evaluation in one
+// command — verification, the Section 2 profile, Table 1, Figures
+// 9-15, and the headline geomeans — as a self-contained markdown
+// document on stdout.
+//
+// Usage:
+//
+//	protozoa-report > report.md
+//	protozoa-report -scale 4 -workloads linear-regression,histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"protozoa"
+	"protozoa/internal/harness"
+)
+
+func main() {
+	cores := flag.Int("cores", 16, "number of cores (1, 2, 4, or 16)")
+	scale := flag.Int("scale", 2, "workload iteration multiplier")
+	subset := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
+	flag.Parse()
+
+	o := protozoa.Options{Cores: *cores, Scale: *scale, TraceSeed: *seed}
+	if *subset != "" {
+		o.Workloads = strings.Split(*subset, ",")
+	}
+	if err := harness.GenerateReport(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "protozoa-report:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,140 @@
+// protozoa-sim runs one workload of the built-in suite under one
+// coherence protocol and prints the full measurement report.
+//
+// Usage:
+//
+//	protozoa-sim [-workload linear-regression] [-protocol mw] [-cores 16] [-scale 2]
+//	protozoa-sim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"protozoa"
+	"protozoa/internal/core"
+	"protozoa/internal/engine"
+	"protozoa/internal/harness"
+	"protozoa/internal/workloads"
+)
+
+func parseProtocol(s string) (protozoa.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "mesi":
+		return protozoa.MESI, nil
+	case "sw", "protozoa-sw":
+		return protozoa.ProtozoaSW, nil
+	case "swmr", "sw+mr", "protozoa-sw+mr":
+		return protozoa.ProtozoaSWMR, nil
+	case "mw", "protozoa-mw":
+		return protozoa.ProtozoaMW, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q (mesi, sw, swmr, mw)", s)
+}
+
+func main() {
+	workload := flag.String("workload", "linear-regression", "workload name (-list to enumerate)")
+	proto := flag.String("protocol", "mw", "coherence protocol: mesi, sw, swmr, mw")
+	cores := flag.Int("cores", 16, "number of cores (1, 2, 4, or 16)")
+	scale := flag.Int("scale", 2, "workload iteration multiplier")
+	list := flag.Bool("list", false, "list the workload suite and exit")
+	msglog := flag.Int("msglog", 0, "dump the last N coherence messages after the run")
+	jsonOut := flag.Bool("json", false, "emit the raw stats as JSON instead of the report")
+	timeline := flag.Int("timeline", 0, "sample the run every N cycles and print per-window rates")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-24s %-18s %-11s %s\n", "name", "models", "suite", "signature")
+		for _, w := range protozoa.Workloads() {
+			fmt.Printf("%-24s %-18s %-11s %s\n", w.Name, w.Models, w.Suite, w.About)
+		}
+		for _, w := range workloads.Micros() {
+			fmt.Printf("%-24s %-18s %-11s %s\n", w.Name, w.Models, w.Suite, w.About)
+		}
+		return
+	}
+
+	p, err := parseProtocol(*proto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
+		os.Exit(1)
+	}
+	if *msglog > 0 || *timeline > 0 {
+		if err := runInstrumented(*workload, p, *cores, *scale, *msglog, *timeline); err != nil {
+			fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	st, err := protozoa.Run(*workload, p, protozoa.Options{Cores: *cores, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(harness.RenderStats(*workload, core.Protocol(p), st))
+}
+
+// runInstrumented builds the system directly so protocol transcripts
+// and timelines can be captured and dumped.
+func runInstrumented(workload string, p protozoa.Protocol, cores, scale, msglog, timeline int) error {
+	spec, err := workloads.Get(workload)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(core.Protocol(p))
+	cfg.Cores = cores
+	switch cores {
+	case 16:
+	case 4:
+		cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
+	case 2:
+		cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
+	case 1:
+		cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
+	default:
+		return fmt.Errorf("cores must be 1, 2, 4, or 16")
+	}
+	sys, err := core.NewSystem(cfg, spec.Streams(cores, scale))
+	if err != nil {
+		return err
+	}
+	if msglog > 0 {
+		sys.EnableMessageLog(msglog)
+	}
+	if timeline > 0 {
+		sys.EnableTimeline(engine.Cycle(timeline))
+	}
+	if err := sys.Run(); err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderStats(workload, core.Protocol(p), sys.Stats()))
+	if timeline > 0 {
+		fmt.Printf("\ntimeline (%d-cycle windows):\n", timeline)
+		fmt.Printf("  %10s %10s %10s %12s\n", "cycle", "accesses", "misses", "traffic(B)")
+		var prev core.TimelineSample
+		for _, s := range sys.Timeline() {
+			fmt.Printf("  %10d %10d %10d %12d\n",
+				s.Cycle, s.Accesses-prev.Accesses, s.Misses-prev.Misses, s.Traffic-prev.Traffic)
+			prev = s
+		}
+	}
+	if msglog > 0 {
+		fmt.Printf("\nlast %d coherence messages:\n", msglog)
+		for _, e := range sys.MessageLog() {
+			fmt.Println(" ", e)
+		}
+	}
+	return nil
+}

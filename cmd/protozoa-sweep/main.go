@@ -1,0 +1,145 @@
+// protozoa-sweep runs a grid of configurations — protocols x workloads
+// x design knobs — and emits one CSV row per cell: the generic engine
+// behind the ablation studies.
+//
+// Usage:
+//
+//	protozoa-sweep -workloads histogram,barnes -protocols mesi,mw
+//	protozoa-sweep -knobs threehop,bloom -protocols mw -workloads barnes
+//	protozoa-sweep -regions 32,64,128 -protocols mw -workloads histogram
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"protozoa/internal/core"
+	"protozoa/internal/noc"
+	"protozoa/internal/workloads"
+)
+
+var knobSetters = map[string]func(*core.Config){
+	"baseline":     func(*core.Config) {},
+	"threehop":     func(c *core.Config) { c.ThreeHop = true },
+	"bloom":        func(c *core.Config) { c.Directory = core.DirBloom },
+	"merge":        func(c *core.Config) { c.MergeL1Blocks = true },
+	"noninclusive": func(c *core.Config) { c.NonInclusiveL2 = true },
+	"contention":   func(c *core.Config) { c.Noc.ModelContention = true },
+	"ring":         func(c *core.Config) { c.Noc.Topology = noc.TopoRing },
+	"crossbar":     func(c *core.Config) { c.Noc.Topology = noc.TopoCrossbar },
+}
+
+func parseProtocols(s string) ([]core.Protocol, error) {
+	var out []core.Protocol
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(tok)) {
+		case "mesi":
+			out = append(out, core.MESI)
+		case "sw":
+			out = append(out, core.ProtozoaSW)
+		case "swmr", "sw+mr":
+			out = append(out, core.ProtozoaSWMR)
+		case "mw":
+			out = append(out, core.ProtozoaMW)
+		case "all":
+			out = append(out, core.AllProtocols...)
+		default:
+			return nil, fmt.Errorf("unknown protocol %q", tok)
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	wls := flag.String("workloads", "linear-regression,histogram", "comma-separated workloads")
+	protos := flag.String("protocols", "all", "comma-separated protocols (mesi, sw, swmr, mw, all)")
+	knobs := flag.String("knobs", "baseline", "comma-separated design knobs: baseline, threehop, bloom, merge, noninclusive, contention, ring, crossbar")
+	regions := flag.String("regions", "64", "comma-separated RMAX region sizes")
+	cores := flag.Int("cores", 16, "cores (1, 2, 4, or 16)")
+	scale := flag.Int("scale", 1, "workload scale")
+	flag.Parse()
+
+	ps, err := parseProtocols(*protos)
+	if err != nil {
+		fail(err)
+	}
+	var regionSizes []int
+	for _, tok := range strings.Split(*regions, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			fail(fmt.Errorf("bad region size %q", tok))
+		}
+		regionSizes = append(regionSizes, v)
+	}
+	knobList := strings.Split(*knobs, ",")
+	for _, k := range knobList {
+		if _, ok := knobSetters[strings.TrimSpace(k)]; !ok {
+			fail(fmt.Errorf("unknown knob %q", k))
+		}
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	w.Write([]string{
+		"workload", "protocol", "knob", "region_bytes",
+		"misses", "mpki", "traffic_bytes", "used_pct", "flit_hops", "exec_cycles",
+	})
+	for _, wlName := range strings.Split(*wls, ",") {
+		wlName = strings.TrimSpace(wlName)
+		spec, err := workloads.Get(wlName)
+		if err != nil {
+			fail(err)
+		}
+		for _, p := range ps {
+			for _, knob := range knobList {
+				knob = strings.TrimSpace(knob)
+				for _, rb := range regionSizes {
+					cfg := core.DefaultConfig(p)
+					cfg.Cores = *cores
+					cfg.RegionBytes = rb
+					switch *cores {
+					case 16:
+					case 4:
+						cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
+					case 2:
+						cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
+					case 1:
+						cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
+					default:
+						fail(fmt.Errorf("cores must be 1, 2, 4, or 16"))
+					}
+					knobSetters[knob](&cfg)
+					sys, err := core.NewSystem(cfg, spec.Streams(*cores, *scale))
+					if err != nil {
+						fail(err)
+					}
+					if err := sys.Run(); err != nil {
+						fail(fmt.Errorf("%s/%s/%s: %w", wlName, p, knob, err))
+					}
+					st := sys.Stats()
+					w.Write([]string{
+						wlName, p.String(), knob, strconv.Itoa(rb),
+						strconv.FormatUint(st.L1Misses, 10),
+						strconv.FormatFloat(st.MPKI(), 'f', 3, 64),
+						strconv.FormatUint(st.TrafficTotal(), 10),
+						strconv.FormatFloat(st.UsedPct(), 'f', 1, 64),
+						strconv.FormatUint(st.FlitHops, 10),
+						strconv.FormatUint(st.ExecCycles, 10),
+					})
+				}
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "protozoa-sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+// protozoa-table1 regenerates the paper's Table 1: conventional MESI
+// behaviour (MPKI trend, invalidation trend, optimal size, used-data
+// fraction) as the fixed block size sweeps 16 -> 32 -> 64 -> 128 bytes.
+//
+// Usage:
+//
+//	protozoa-table1 [-cores 16] [-scale 2] [-workloads a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"protozoa"
+)
+
+func main() {
+	cores := flag.Int("cores", 16, "number of cores (1, 2, 4, or 16)")
+	scale := flag.Int("scale", 2, "workload iteration multiplier")
+	subset := flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
+	flag.Parse()
+
+	o := protozoa.Options{Cores: *cores, Scale: *scale, TraceSeed: *seed}
+	if *subset != "" {
+		o.Workloads = strings.Split(*subset, ",")
+	}
+	res, err := protozoa.CollectTable1(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protozoa-table1:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+}

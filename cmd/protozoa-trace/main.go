@@ -1,0 +1,165 @@
+// protozoa-trace captures built-in workloads as trace files (the
+// equivalent of the paper's Pin-generated traces), inspects them, and
+// replays them through the simulator.
+//
+// Usage:
+//
+//	protozoa-trace -dump -workload canneal -o canneal.pztr
+//	protozoa-trace -info canneal.pztr
+//	protozoa-trace -run canneal.pztr -protocol mw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"protozoa/internal/core"
+	"protozoa/internal/harness"
+	"protozoa/internal/trace"
+	"protozoa/internal/workloads"
+)
+
+func main() {
+	dump := flag.Bool("dump", false, "capture a workload to a trace file")
+	workload := flag.String("workload", "linear-regression", "workload to capture (with -dump)")
+	out := flag.String("o", "trace.pztr", "output path (with -dump)")
+	info := flag.String("info", "", "print a trace file's summary")
+	run := flag.String("run", "", "replay a trace file through the simulator")
+	proto := flag.String("protocol", "mw", "protocol for -run: mesi, sw, swmr, mw")
+	cores := flag.Int("cores", 16, "cores for -dump (1, 2, 4, or 16)")
+	scale := flag.Int("scale", 2, "workload scale for -dump")
+	flag.Parse()
+
+	switch {
+	case *dump:
+		if err := doDump(*workload, *out, *cores, *scale); err != nil {
+			fail(err)
+		}
+	case *info != "":
+		if err := doInfo(*info); err != nil {
+			fail(err)
+		}
+	case *run != "":
+		if err := doRun(*run, *proto); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "protozoa-trace: one of -dump, -info, or -run is required")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "protozoa-trace:", err)
+	os.Exit(1)
+}
+
+func doDump(workload, out string, cores, scale int) error {
+	spec, err := workloads.Get(workload)
+	if err != nil {
+		return err
+	}
+	streams := spec.Streams(cores, scale)
+	perCore := make([][]trace.Access, len(streams))
+	for c, s := range streams {
+		for {
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			perCore[c] = append(perCore[c], a)
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteTraces(f, perCore); err != nil {
+		return err
+	}
+	total := 0
+	for _, r := range perCore {
+		total += len(r)
+	}
+	fmt.Printf("wrote %s: %d cores, %d records\n", out, len(perCore), total)
+	return f.Close()
+}
+
+func doInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	perCore, err := trace.ReadTraces(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d cores\n", path, len(perCore))
+	for c, recs := range perCore {
+		loads, stores, barriers := 0, 0, 0
+		for _, a := range recs {
+			switch a.Kind {
+			case trace.Load:
+				loads++
+			case trace.Store:
+				stores++
+			case trace.Barrier:
+				barriers++
+			}
+		}
+		fmt.Printf("  core %2d: %7d records (%d loads, %d stores, %d barriers)\n",
+			c, len(recs), loads, stores, barriers)
+	}
+	return nil
+}
+
+func doRun(path, proto string) error {
+	var p core.Protocol
+	switch strings.ToLower(proto) {
+	case "mesi":
+		p = core.MESI
+	case "sw":
+		p = core.ProtozoaSW
+	case "swmr", "sw+mr":
+		p = core.ProtozoaSWMR
+	case "mw":
+		p = core.ProtozoaMW
+	default:
+		return fmt.Errorf("unknown protocol %q", proto)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	streams, err := trace.ReadStreams(f)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(p)
+	cfg.Cores = len(streams)
+	switch len(streams) {
+	case 16:
+	case 4:
+		cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
+	case 2:
+		cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
+	case 1:
+		cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
+	default:
+		return fmt.Errorf("trace has %d cores; supported: 1, 2, 4, 16", len(streams))
+	}
+	sys, err := core.NewSystem(cfg, streams)
+	if err != nil {
+		return err
+	}
+	if err := sys.Run(); err != nil {
+		return err
+	}
+	fmt.Print(harness.RenderStats(path, p, sys.Stats()))
+	return nil
+}

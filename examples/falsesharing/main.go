@@ -1,0 +1,59 @@
+// falsesharing reconstructs the paper's Figure 1 by hand: the OpenMP
+// counter program where every thread increments its own word of one
+// cache line. It drives the simulator with custom traces through the
+// public API and shows how each member of the protocol family treats
+// the line — MESI ping-pongs it, Protozoa-SW moves single words but
+// still invalidates the whole region, and Protozoa-MW lets all the
+// writers coexist.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protozoa"
+)
+
+// counterStreams builds the Figure 1 program: Item[core]++ in a loop.
+func counterStreams(cores, iters int) []protozoa.Stream {
+	streams := make([]protozoa.Stream, cores)
+	for c := 0; c < cores; c++ {
+		var recs []protozoa.Access
+		addr := protozoa.Addr(0x1000 + c*8) // Item[c]: adjacent words, one region
+		for i := 0; i < iters; i++ {
+			recs = append(recs, protozoa.Access{Kind: protozoa.Load, Addr: addr, PC: 0x400, Think: 2})
+			recs = append(recs, protozoa.Access{Kind: protozoa.Store, Addr: addr, PC: 0x408, Think: 1})
+		}
+		streams[c] = protozoa.NewSliceStream(recs)
+	}
+	return streams
+}
+
+func main() {
+	const cores, iters = 8, 500
+	fmt.Printf("Figure 1: %d threads increment adjacent words of one cache line, %d times each\n\n", cores, iters)
+	fmt.Printf("%-15s %9s %9s %13s %12s %11s\n",
+		"protocol", "misses", "invals", "traffic(KB)", "flit-hops", "cycles")
+
+	for _, p := range protozoa.Protocols() {
+		cfg := protozoa.DefaultSystemConfig(p)
+		cfg.Cores = cores
+		cfg.Noc.DimX, cfg.Noc.DimY = 4, 2
+		sys, err := protozoa.NewSystem(cfg, counterStreams(cores, iters))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Run(); err != nil {
+			log.Fatal(err)
+		}
+		st := sys.Stats()
+		fmt.Printf("%-15s %9d %9d %13.1f %12d %11d\n",
+			p, st.L1Misses, st.Invalidations,
+			float64(st.TrafficTotal())/1024, st.FlitHops, st.ExecCycles)
+	}
+
+	fmt.Printf("\nMESI and Protozoa-SW ping-pong the line (SW just moves 8-byte words\n")
+	fmt.Printf("instead of 64-byte blocks); Protozoa-SW+MR still allows only one\n")
+	fmt.Printf("writer at a time; Protozoa-MW caches the disjoint words for writing\n")
+	fmt.Printf("concurrently, so after one cold miss per core the traffic stops.\n")
+}

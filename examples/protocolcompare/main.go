@@ -1,0 +1,38 @@
+// protocolcompare runs the whole protocol family over a cross-section
+// of the workload suite and prints the paper's headline comparisons:
+// traffic breakdown (Figure 9), miss rate (Figure 13), and
+// interconnect energy (Figure 15).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protozoa"
+)
+
+func main() {
+	o := protozoa.Options{
+		Cores: 16,
+		Scale: 2,
+		Workloads: []string{
+			"linear-regression", // false sharing: MW's showcase
+			"histogram",         // false sharing + streaming input
+			"canneal",           // sparse pointers: SW's showcase
+			"string-match",      // extreme fine-grain multi-writer
+			"streamcluster",     // shared read-only + fine-grain RW
+			"matrix-multiply",   // private + full locality: no change
+		},
+	}
+	fmt.Println("running 6 workloads x 4 protocols on 16 cores...")
+	m, err := protozoa.Collect(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(m.Fig9Traffic())
+	fmt.Println()
+	fmt.Print(m.Fig13MPKI())
+	fmt.Println()
+	fmt.Print(m.Fig15FlitHops())
+}

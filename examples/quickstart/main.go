@@ -1,0 +1,46 @@
+// Quickstart: simulate one workload under the MESI baseline and
+// Protozoa-MW and compare the headline metrics — the five-minute tour
+// of what adaptive granularity coherence buys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"protozoa"
+)
+
+func main() {
+	opts := protozoa.Options{Cores: 16, Scale: 2}
+	const workload = "linear-regression" // the paper's Figure 1 pathology
+
+	fmt.Printf("simulating %q on 16 cores...\n\n", workload)
+	mesi, err := protozoa.Run(workload, protozoa.MESI, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mw, err := protozoa.Run(workload, protozoa.ProtozoaMW, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %14s %14s %9s\n", "metric", "MESI", "Protozoa-MW", "ratio")
+	row := func(name string, a, b float64) {
+		ratio := 0.0
+		if a != 0 {
+			ratio = b / a
+		}
+		fmt.Printf("%-22s %14.1f %14.1f %8.2fx\n", name, a, b, ratio)
+	}
+	row("misses (MPKI)", mesi.MPKI(), mw.MPKI())
+	row("invalidations", float64(mesi.Invalidations), float64(mw.Invalidations))
+	row("traffic (KB)", float64(mesi.TrafficTotal())/1024, float64(mw.TrafficTotal())/1024)
+	row("unused data (KB)", float64(mesi.UnusedDataBytes)/1024, float64(mw.UnusedDataBytes)/1024)
+	row("flit-hops (K)", float64(mesi.FlitHops)/1000, float64(mw.FlitHops)/1000)
+	row("exec cycles (K)", float64(mesi.ExecCycles)/1000, float64(mw.ExecCycles)/1000)
+
+	fmt.Printf("\nProtozoa-MW invalidates at the granularity of the write, so the\n")
+	fmt.Printf("adjacent per-thread counters stop ping-ponging: the false sharing\n")
+	fmt.Printf("that dominates this workload disappears (paper Section 1: up to a\n")
+	fmt.Printf("99%% miss reduction and a 2.2x speedup on linear regression).\n")
+}

@@ -1,0 +1,3 @@
+module protozoa
+
+go 1.22

@@ -1,0 +1,408 @@
+// Package cache implements the private L1 storage used by every
+// protocol in the family: an Amoeba-Cache (Kumar et al., MICRO 2012)
+// that stores variable-granularity blocks, each a 4-tuple
+// <Region tag, Start, End, Data> whose boundaries never cross a REGION.
+//
+// Capacity is modeled the way the Amoeba paper charges it: each set has
+// a byte budget (288 B in Table 4) and every resident block costs its
+// data bytes plus a tag overhead (8 B), so fine-grain blocks let a set
+// hold more useful words while coarse blocks amortize the tag. A
+// fixed-granularity cache for the MESI baseline is the degenerate case
+// in which every block covers the full region: with 64-byte regions a
+// 288-byte set holds exactly 4 ways.
+//
+// The package also provides the multi-step snoop support of Section
+// 3.1/Figure 3: ExtractOverlapping is the CHECK + GATHER sequence that
+// removes every resident sub-block overlapping a coherence request so
+// the protocol can treat them as a single writeback.
+package cache
+
+import (
+	"fmt"
+
+	"protozoa/internal/mem"
+)
+
+// State is a block's MESI stable state. Transient states live in the
+// L1 controller's MSHRs, not in the storage.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter state name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Dirty reports whether the state implies dirty data.
+func (s State) Dirty() bool { return s == Modified }
+
+// Block is one resident Amoeba block.
+type Block struct {
+	Region    mem.RegionID
+	R         mem.Range
+	State     State
+	Touched   mem.Bitmap // words accessed by the core since fill
+	FetchPC   uint64     // PC of the miss that fetched the block (predictor training)
+	FetchWord uint8      // word offset of the miss that fetched the block
+	Data      []uint64   // word values, len == R.Words()
+
+	lru uint64
+}
+
+// Word returns the value of word w (region offset), which must lie in
+// the block's range.
+func (b *Block) Word(w uint8) uint64 {
+	return b.Data[w-b.R.Start]
+}
+
+// SetWord stores v into word w, which must lie in the block's range.
+func (b *Block) SetWord(w uint8, v uint64) {
+	b.Data[w-b.R.Start] = v
+}
+
+// Touch marks word w as used by the core.
+func (b *Block) Touch(w uint8) {
+	b.Touched = b.Touched.Set(w)
+}
+
+// UsedWords reports how many of the block's words the core touched.
+func (b *Block) UsedWords() int { return b.Touched.CountIn(b.R) }
+
+// Config sizes a cache.
+type Config struct {
+	Sets           int // number of sets; blocks of a region map to one set
+	SetBudgetBytes int // storage budget per set, tags included
+	TagBytes       int // per-block tag/metadata overhead
+	Geom           mem.Geometry
+
+	// MergeBlocks coalesces a freshly inserted block with adjacent
+	// same-state blocks of its region, as the Amoeba-Cache hardware
+	// does: fragments left by partial fills re-join, saving one tag per
+	// merge and keeping lookups short.
+	MergeBlocks bool
+}
+
+// DefaultL1Config is Table 4's Amoeba L1: 256 sets x 288 B/set with
+// 8-byte tags over 64-byte regions.
+func DefaultL1Config() Config {
+	return Config{Sets: 256, SetBudgetBytes: 288, TagBytes: 8, Geom: mem.DefaultGeometry}
+}
+
+type set struct {
+	blocks    []*Block
+	bytesUsed int
+}
+
+// Cache is a single private L1's storage. Not safe for concurrent use.
+type Cache struct {
+	cfg  Config
+	sets []set
+	tick uint64
+}
+
+// New builds a cache. The set budget must fit at least one full-region
+// block so fixed-granularity configurations are always serviceable.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Sets <= 0 {
+		return nil, fmt.Errorf("cache: bad set count %d", cfg.Sets)
+	}
+	minBudget := cfg.TagBytes + cfg.Geom.RegionBytes
+	if cfg.SetBudgetBytes < minBudget {
+		return nil, fmt.Errorf("cache: set budget %d cannot hold one full region (%d)", cfg.SetBudgetBytes, minBudget)
+	}
+	return &Cache{cfg: cfg, sets: make([]set, cfg.Sets)}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Cost is the storage charge for a block covering range r.
+func (c *Cache) Cost(r mem.Range) int { return c.cfg.TagBytes + r.Bytes() }
+
+func (c *Cache) setFor(region mem.RegionID) *set {
+	return &c.sets[uint64(region)%uint64(c.cfg.Sets)]
+}
+
+// Lookup finds the block holding word w of the region, bumping its LRU
+// recency. It returns nil on miss.
+func (c *Cache) Lookup(region mem.RegionID, w uint8) *Block {
+	s := c.setFor(region)
+	for _, b := range s.blocks {
+		if b.Region == region && b.R.Contains(w) {
+			c.tick++
+			b.lru = c.tick
+			return b
+		}
+	}
+	return nil
+}
+
+// Peek is Lookup without the LRU update.
+func (c *Cache) Peek(region mem.RegionID, w uint8) *Block {
+	for _, b := range c.setFor(region).blocks {
+		if b.Region == region && b.R.Contains(w) {
+			return b
+		}
+	}
+	return nil
+}
+
+// BlocksInRegion returns the resident blocks of a region (the CHECK
+// step of a multi-block snoop). The returned pointers stay valid until
+// the next mutation.
+func (c *Cache) BlocksInRegion(region mem.RegionID) []*Block {
+	var out []*Block
+	for _, b := range c.setFor(region).blocks {
+		if b.Region == region {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// HasRegion reports whether any block of the region is resident.
+func (c *Cache) HasRegion(region mem.RegionID) bool {
+	for _, b := range c.setFor(region).blocks {
+		if b.Region == region {
+			return true
+		}
+	}
+	return false
+}
+
+// TrimFill shrinks a predicted fill range so it does not overlap any
+// resident block of the region while still containing the missing word
+// w. The Protozoa protocols never create overlapping blocks: a fill
+// that would overlap a resident sub-block is trimmed to the free gap
+// around the miss word.
+func (c *Cache) TrimFill(region mem.RegionID, want mem.Range, w uint8) mem.Range {
+	if !want.Contains(w) {
+		want = want.Span(mem.OneWord(w))
+	}
+	resident := mem.Bitmap(0)
+	for _, b := range c.setFor(region).blocks {
+		if b.Region == region {
+			resident = resident.Union(b.R.Bitmap())
+		}
+	}
+	start, end := w, w
+	for start > want.Start && !resident.Has(start-1) {
+		start--
+	}
+	for end < want.End && !resident.Has(end+1) {
+		end++
+	}
+	return mem.Range{Start: start, End: end}
+}
+
+// Insert places a new block, evicting least-recently-used blocks from
+// the set until it fits. Victims are returned for the protocol to
+// write back (if dirty) or drop silently (if clean). Insert panics if
+// the block would overlap a resident block of the same region — the
+// protocol must TrimFill first — or if its range is invalid.
+func (c *Cache) Insert(b Block) []Block {
+	if !b.R.Valid(c.cfg.Geom) {
+		panic(fmt.Sprintf("cache: invalid range %v", b.R))
+	}
+	if len(b.Data) != b.R.Words() {
+		panic(fmt.Sprintf("cache: data length %d != range words %d", len(b.Data), b.R.Words()))
+	}
+	s := c.setFor(b.Region)
+	for _, rb := range s.blocks {
+		if rb.Region == b.Region && rb.R.Overlaps(b.R) {
+			panic(fmt.Sprintf("cache: inserting %v overlaps resident %v in region %d", b.R, rb.R, b.Region))
+		}
+	}
+	cost := c.Cost(b.R)
+	var victims []Block
+	for s.bytesUsed+cost > c.cfg.SetBudgetBytes {
+		v := c.evictLRU(s)
+		if v == nil {
+			panic("cache: set budget exhausted with no victims")
+		}
+		victims = append(victims, *v)
+	}
+	c.tick++
+	nb := b
+	nb.lru = c.tick
+	s.blocks = append(s.blocks, &nb)
+	s.bytesUsed += cost
+	if c.cfg.MergeBlocks {
+		c.mergeAround(s, &nb)
+	}
+	return victims
+}
+
+// mergeAround coalesces the freshly inserted block with same-region,
+// same-state blocks exactly adjacent to it, repeating until no
+// neighbour qualifies. Merging never overlaps (the non-overlap
+// invariant holds before and after) and releases one tag per merge.
+func (c *Cache) mergeAround(s *set, nb *Block) {
+	for {
+		merged := false
+		for i, ob := range s.blocks {
+			if ob == nb || ob.Region != nb.Region || ob.State != nb.State {
+				continue
+			}
+			var lo, hi *Block
+			switch {
+			case ob.R.End+1 == nb.R.Start:
+				lo, hi = ob, nb
+			case nb.R.End+1 == ob.R.Start:
+				lo, hi = nb, ob
+			default:
+				continue
+			}
+			// Splice the two data arrays and union the metadata into nb.
+			data := make([]uint64, 0, lo.R.Words()+hi.R.Words())
+			data = append(data, lo.Data...)
+			data = append(data, hi.Data...)
+			nb.R = mem.Range{Start: lo.R.Start, End: hi.R.End}
+			nb.Data = data
+			nb.Touched = lo.Touched.Union(hi.Touched)
+			// Remove the absorbed block; one tag's bytes come back.
+			s.blocks = append(s.blocks[:i], s.blocks[i+1:]...)
+			s.bytesUsed -= c.cfg.TagBytes
+			merged = true
+			break
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+func (c *Cache) evictLRU(s *set) *Block {
+	if len(s.blocks) == 0 {
+		return nil
+	}
+	vi := 0
+	for i, b := range s.blocks {
+		if b.lru < s.blocks[vi].lru {
+			vi = i
+		}
+	}
+	v := s.blocks[vi]
+	s.blocks = append(s.blocks[:vi], s.blocks[vi+1:]...)
+	s.bytesUsed -= c.Cost(v.R)
+	return v
+}
+
+// ExtractOverlapping removes and returns every resident block of the
+// region overlapping r: the CHECK + GATHER steps of Figure 3. The
+// protocol treats the gathered blocks as a single coherence operation.
+func (c *Cache) ExtractOverlapping(region mem.RegionID, r mem.Range) []Block {
+	s := c.setFor(region)
+	var out []Block
+	kept := s.blocks[:0]
+	for _, b := range s.blocks {
+		if b.Region == region && b.R.Overlaps(r) {
+			out = append(out, *b)
+			s.bytesUsed -= c.Cost(b.R)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	s.blocks = kept
+	return out
+}
+
+// ExtractRegion removes and returns every resident block of the region
+// (a full-region snoop, as in MESI and Protozoa-SW invalidations).
+func (c *Cache) ExtractRegion(region mem.RegionID) []Block {
+	return c.ExtractOverlapping(region, c.cfg.Geom.FullRange())
+}
+
+// Remove removes the specific resident block (identified by region and
+// exact range). It reports whether the block was found.
+func (c *Cache) Remove(region mem.RegionID, r mem.Range) bool {
+	s := c.setFor(region)
+	for i, b := range s.blocks {
+		if b.Region == region && b.R == r {
+			s.blocks = append(s.blocks[:i], s.blocks[i+1:]...)
+			s.bytesUsed -= c.Cost(b.R)
+			return true
+		}
+	}
+	return false
+}
+
+// Blocks calls fn for every resident block; used for end-of-run
+// classification and invariant checks.
+func (c *Cache) Blocks(fn func(*Block)) {
+	for i := range c.sets {
+		for _, b := range c.sets[i].blocks {
+			fn(b)
+		}
+	}
+}
+
+// BytesUsed reports the current storage occupancy, tags included.
+func (c *Cache) BytesUsed() int {
+	t := 0
+	for i := range c.sets {
+		t += c.sets[i].bytesUsed
+	}
+	return t
+}
+
+// CheckInvariants validates the structural invariants: ranges valid,
+// no overlapping blocks within a region, set byte accounting exact,
+// and every block mapped to its home set. It returns the first
+// violation found.
+func (c *Cache) CheckInvariants() error {
+	for si := range c.sets {
+		s := &c.sets[si]
+		bytes := 0
+		for i, b := range s.blocks {
+			if !b.R.Valid(c.cfg.Geom) {
+				return fmt.Errorf("set %d: block %d has invalid range %v", si, i, b.R)
+			}
+			if int(uint64(b.Region)%uint64(c.cfg.Sets)) != si {
+				return fmt.Errorf("set %d: block region %d mapped to wrong set", si, b.Region)
+			}
+			if len(b.Data) != b.R.Words() {
+				return fmt.Errorf("set %d: block %d data/range mismatch", si, i)
+			}
+			bytes += c.Cost(b.R)
+			for j := i + 1; j < len(s.blocks); j++ {
+				ob := s.blocks[j]
+				if ob.Region == b.Region && ob.R.Overlaps(b.R) {
+					return fmt.Errorf("set %d: overlapping blocks %v and %v in region %d", si, b.R, ob.R, b.Region)
+				}
+			}
+		}
+		if bytes != s.bytesUsed {
+			return fmt.Errorf("set %d: bytesUsed %d != actual %d", si, s.bytesUsed, bytes)
+		}
+		if s.bytesUsed > c.cfg.SetBudgetBytes {
+			return fmt.Errorf("set %d: over budget: %d > %d", si, s.bytesUsed, c.cfg.SetBudgetBytes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"protozoa/internal/mem"
+)
+
+func merging(t *testing.T) *Cache {
+	t.Helper()
+	return MustNew(Config{Sets: 1, SetBudgetBytes: 288, TagBytes: 8, Geom: mem.DefaultGeometry, MergeBlocks: true})
+}
+
+func TestMergeAdjacentSameState(t *testing.T) {
+	c := merging(t)
+	c.Insert(mkBlock(5, mem.Range{Start: 0, End: 2}, Shared))
+	c.Insert(mkBlock(5, mem.Range{Start: 3, End: 5}, Shared))
+	blocks := c.BlocksInRegion(5)
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1 merged", len(blocks))
+	}
+	if blocks[0].R != (mem.Range{Start: 0, End: 5}) {
+		t.Errorf("merged range = %v, want {0,5}", blocks[0].R)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeReleasesTagBytes(t *testing.T) {
+	c := merging(t)
+	c.Insert(mkBlock(5, mem.Range{Start: 0, End: 2}, Shared))
+	before := c.BytesUsed()
+	c.Insert(mkBlock(5, mem.Range{Start: 3, End: 5}, Shared))
+	// Second block adds tag+24 data bytes, then merging releases the tag.
+	if got := c.BytesUsed(); got != before+24 {
+		t.Errorf("bytes = %d, want %d (one tag released)", got, before+24)
+	}
+}
+
+func TestMergePreservesDataAndTouch(t *testing.T) {
+	c := merging(t)
+	b1 := mkBlock(5, mem.Range{Start: 0, End: 1}, Modified)
+	b1.Data[0], b1.Data[1] = 10, 11
+	b1.Touched = b1.Touched.Set(0)
+	c.Insert(b1)
+	b2 := mkBlock(5, mem.Range{Start: 2, End: 3}, Modified)
+	b2.Data[0], b2.Data[1] = 12, 13
+	b2.Touched = b2.Touched.Set(3)
+	c.Insert(b2)
+	m := c.BlocksInRegion(5)[0]
+	for w, want := range map[uint8]uint64{0: 10, 1: 11, 2: 12, 3: 13} {
+		if got := m.Word(w); got != want {
+			t.Errorf("word %d = %d, want %d", w, got, want)
+		}
+	}
+	if !m.Touched.Has(0) || !m.Touched.Has(3) || m.Touched.Has(1) {
+		t.Errorf("touched bitmap = %b", m.Touched)
+	}
+}
+
+func TestNoMergeAcrossStates(t *testing.T) {
+	c := merging(t)
+	c.Insert(mkBlock(5, mem.Range{Start: 0, End: 2}, Shared))
+	c.Insert(mkBlock(5, mem.Range{Start: 3, End: 5}, Modified))
+	if n := len(c.BlocksInRegion(5)); n != 2 {
+		t.Errorf("blocks = %d, want 2 (states differ)", n)
+	}
+}
+
+func TestNoMergeAcrossGapsOrRegions(t *testing.T) {
+	c := merging(t)
+	c.Insert(mkBlock(5, mem.Range{Start: 0, End: 1}, Shared))
+	c.Insert(mkBlock(5, mem.Range{Start: 3, End: 4}, Shared)) // gap at word 2
+	c.Insert(mkBlock(6, mem.Range{Start: 2, End: 2}, Shared)) // other region
+	if n := len(c.BlocksInRegion(5)); n != 2 {
+		t.Errorf("region 5 blocks = %d, want 2", n)
+	}
+	if n := len(c.BlocksInRegion(6)); n != 1 {
+		t.Errorf("region 6 blocks = %d, want 1", n)
+	}
+}
+
+func TestMergeChains(t *testing.T) {
+	// Filling the middle gap must collapse three fragments into one.
+	c := merging(t)
+	c.Insert(mkBlock(5, mem.Range{Start: 0, End: 1}, Shared))
+	c.Insert(mkBlock(5, mem.Range{Start: 4, End: 5}, Shared))
+	c.Insert(mkBlock(5, mem.Range{Start: 2, End: 3}, Shared))
+	blocks := c.BlocksInRegion(5)
+	if len(blocks) != 1 || blocks[0].R != (mem.Range{Start: 0, End: 5}) {
+		t.Fatalf("blocks = %+v, want single {0,5}", blocks)
+	}
+}
+
+func TestQuickMergeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(Config{Sets: 2, SetBudgetBytes: 200, TagBytes: 8, Geom: mem.DefaultGeometry, MergeBlocks: true})
+		for op := 0; op < 200; op++ {
+			region := mem.RegionID(rng.Intn(6))
+			w := uint8(rng.Intn(8))
+			switch rng.Intn(3) {
+			case 0:
+				if c.Peek(region, w) == nil {
+					r := c.TrimFill(region, mem.DefaultGeometry.FullRange(), w)
+					c.Insert(mkBlock(region, r, State(1+rng.Intn(3))))
+				}
+			case 1:
+				start := uint8(rng.Intn(8))
+				end := start + uint8(rng.Intn(8-int(start)))
+				c.ExtractOverlapping(region, mem.Range{Start: start, End: end})
+			case 2:
+				c.Lookup(region, w)
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

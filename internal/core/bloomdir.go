@@ -1,0 +1,111 @@
+package core
+
+// Bloom-filter sharer tracking: the Section 6 design alternative the
+// paper points to ("bloom filter-based coherence directories that can
+// summarize the blocks in the cache in fixed space ... can accommodate
+// the variable number of amoeba blocks without significant tuning").
+//
+// Following the TL (Tagless) design quoted in the paper text — k hash
+// functions over the region address, each selecting a bucket holding a
+// P-bit sharing vector, with the lookup ANDing the k vectors — this
+// implementation keeps one small counting filter per node per hash
+// table. Counting makes removal sound for (region, node) pairs that
+// were actually inserted; aliasing can only produce false-positive
+// sharers, never false negatives, so extra probes are answered by
+// NACKs and safety is preserved.
+//
+// Because a bloom filter cannot tolerate unpaired removals, bloom mode
+// disables silent clean evictions: an L1 dropping its last block of a
+// region notifies the directory (a data-less WBACK_LAST), exactly the
+// replacement-notification discipline of the TL paper. A NACK in bloom
+// mode therefore indicates a filter false positive and must not touch
+// the counters.
+
+import (
+	"protozoa/internal/directory"
+	"protozoa/internal/mem"
+)
+
+// DirectoryKind selects the sharer-tracking structure.
+type DirectoryKind uint8
+
+const (
+	// DirPrecise is the paper's default in-cache directory: an exact
+	// P-bit sharer vector per region.
+	DirPrecise DirectoryKind = iota
+	// DirBloom replaces the sharer vector with a TL-style counting
+	// bloom filter (owners stay precise, as Protozoa-SW+MR's log-P
+	// writer field and Protozoa-MW's writer vector require).
+	DirBloom
+)
+
+// Default TL geometry from the design quoted in the paper: four hash
+// tables with 64 buckets each.
+const (
+	DefaultBloomHashes  = 4
+	DefaultBloomBuckets = 64
+)
+
+// bloomDir is one tile's counting-bloom sharer tracker.
+type bloomDir struct {
+	hashes  int
+	buckets int
+	nodes   int
+	// counts[h][bucket*nodes + node]
+	counts [][]uint16
+}
+
+func newBloomDir(hashes, buckets, nodes int) *bloomDir {
+	b := &bloomDir{hashes: hashes, buckets: buckets, nodes: nodes}
+	b.counts = make([][]uint16, hashes)
+	for h := range b.counts {
+		b.counts[h] = make([]uint16, buckets*nodes)
+	}
+	return b
+}
+
+// bucket hashes a region for table h (odd multiplicative constants
+// give independent mixes).
+func (b *bloomDir) bucket(h int, r mem.RegionID) int {
+	x := uint64(r) * (0x9E3779B97F4A7C15 + 2*uint64(h)*0xBF58476D1CE4E5B9 + 1)
+	x ^= x >> 29
+	return int(x % uint64(b.buckets))
+}
+
+// add records node as a sharer of region r.
+func (b *bloomDir) add(r mem.RegionID, node int) {
+	for h := 0; h < b.hashes; h++ {
+		b.counts[h][b.bucket(h, r)*b.nodes+node]++
+	}
+}
+
+// remove erases one prior add of (r, node). It must only be called
+// with pairs that were added (the replacement-notification discipline
+// guarantees this).
+func (b *bloomDir) remove(r mem.RegionID, node int) {
+	for h := 0; h < b.hashes; h++ {
+		idx := b.bucket(h, r)*b.nodes + node
+		if b.counts[h][idx] > 0 {
+			b.counts[h][idx]--
+		}
+	}
+}
+
+// sharers returns the (superset) sharer vector for region r: the AND
+// over the k tables of each node's non-zero counters.
+func (b *bloomDir) sharers(r mem.RegionID) directory.NodeSet {
+	var out directory.NodeSet
+	for n := 0; n < b.nodes; n++ {
+		member := true
+		for h := 0; h < b.hashes; h++ {
+			if b.counts[h][b.bucket(h, r)*b.nodes+n] == 0 {
+				member = false
+				break
+			}
+		}
+		if member {
+			out = out.Add(n)
+		}
+	}
+	return out
+}

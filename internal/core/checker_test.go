@@ -1,0 +1,104 @@
+package core
+
+// The oracle itself must be falsifiable: feed the Checker wrong values
+// and confirm it records violations (so the zero-violation results of
+// the stress suite mean something).
+
+import (
+	"strings"
+	"testing"
+
+	"protozoa/internal/trace"
+)
+
+func TestCheckerDetectsWrongLoadValue(t *testing.T) {
+	cfg := testConfig(MESI, 1)
+	sys, err := NewSystem(cfg, []trace.Stream{trace.NewSliceStream(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := NewChecker(sys)
+	chk.OnStore(0, 0x100, 42)
+	chk.OnLoad(0, 0x100, 42) // correct: no violation
+	if chk.Err() != nil {
+		t.Fatalf("false positive: %v", chk.Err())
+	}
+	chk.OnLoad(0, 0x100, 7) // wrong value
+	if chk.Err() == nil {
+		t.Fatal("checker missed a wrong load value")
+	}
+	if len(chk.Violations()) != 1 {
+		t.Errorf("violations = %d, want 1", len(chk.Violations()))
+	}
+	if !strings.Contains(chk.Err().Error(), "golden") {
+		t.Errorf("Err = %v", chk.Err())
+	}
+}
+
+func TestCheckerDetectsStaleCachedValue(t *testing.T) {
+	// Run a tiny workload, then move the golden value from under the
+	// resident copy: the quiescent scan must flag it.
+	cfg := testConfig(MESI, 1)
+	sys, err := NewSystem(cfg, []trace.Stream{
+		trace.NewSliceStream([]trace.Access{ld(0x40)}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := NewChecker(sys)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if chk.Err() != nil {
+		t.Fatalf("clean run flagged: %v", chk.Err())
+	}
+	chk.OnStore(0, 0x40, 999) // golden diverges from the cached zero
+	chk.OnTxnEnd(1)
+	if chk.Err() == nil {
+		t.Fatal("checker missed a stale cached value")
+	}
+}
+
+func TestCheckerDetectsSWMRViolationShape(t *testing.T) {
+	// Force a fake multi-writer situation by running MW (where two
+	// cores legitimately hold disjoint words M) and then asking the
+	// checker to apply the stricter region rule: reuse the internal
+	// walk by constructing a Protozoa-SW system whose caches we seed by
+	// running MW traffic is not possible; instead verify MaxViolations
+	// capping on the load path.
+	cfg := testConfig(MESI, 1)
+	sys, err := NewSystem(cfg, []trace.Stream{trace.NewSliceStream(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := NewChecker(sys)
+	chk.OnStore(0, 0x8, 1)
+	for i := 0; i < 2*MaxViolations; i++ {
+		chk.OnLoad(0, 0x8, 12345)
+	}
+	if got := len(chk.Violations()); got != MaxViolations {
+		t.Errorf("violations = %d, want capped at %d", got, MaxViolations)
+	}
+}
+
+func TestSystemIntrospectionHelpers(t *testing.T) {
+	sys := runSys(t, testConfig(MESI, 2), [][]trace.Access{{st(0x0)}, nil})
+	if sys.Engine() == nil || sys.Engine().Processed() == 0 {
+		t.Error("Engine() not exposed")
+	}
+	// Region 0 homes on tile 0; word 0 was stored, so the L2 entry
+	// exists (value possibly stale in L2 until writeback — existence is
+	// what we assert).
+	if _, ok := sys.L2Word(0, 0); !ok {
+		t.Error("L2Word missed the touched region")
+	}
+	if _, ok := sys.L2Word(999, 0); ok {
+		t.Error("L2Word invented an untouched region")
+	}
+	if sys.DirBusy(0) {
+		t.Error("region busy after quiescence")
+	}
+	if sys.DirBusy(999) {
+		t.Error("untouched region reported busy")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"protozoa/internal/engine"
+	"protozoa/internal/trace"
+)
+
+// cpu is one in-order core (Table 4: 16-way, in-order). It retires one
+// think-instruction per cycle and blocks on L1 misses, so execution
+// time differences between protocols come from miss behaviour — the
+// same first-order model the paper's in-order configuration yields.
+type cpu struct {
+	id       int
+	stream   trace.Stream
+	storeSeq uint64
+	done     bool
+}
+
+// storeToken produces the unique value a store writes; the random
+// tester uses it to validate coherence end to end.
+func (c *cpu) storeToken() uint64 {
+	c.storeSeq++
+	return uint64(c.id+1)<<40 | c.storeSeq
+}
+
+// step advances a core to its next trace record.
+func (s *System) step(c *cpu) {
+	a, ok := c.stream.Next()
+	if !ok {
+		c.done = true
+		s.coresDone++
+		if s.coresDone == s.cfg.Cores {
+			// Execution time is the last core's retirement; the queue
+			// may still drain trailing unblocks/writebacks afterwards.
+			s.lastRetire = s.eng.Now()
+		}
+		s.releaseBarrierIfReady()
+		return
+	}
+	think := engine.Cycle(a.Think)
+	switch a.Kind {
+	case trace.Barrier:
+		s.st.Instructions += uint64(a.Think)
+		s.eng.Schedule(think, func() { s.arriveBarrier(c) })
+	case trace.Load, trace.Store, trace.RMW:
+		s.st.Instructions += uint64(a.Think) + 1
+		s.eng.Schedule(think, func() { s.issueAccess(c, a) })
+	default:
+		panic("core: unknown trace record kind")
+	}
+}
+
+func (s *System) issueAccess(c *cpu, a trace.Access) {
+	s.st.Accesses++
+	cs := &s.st.PerCore[c.id]
+	cs.Accesses++
+	switch a.Kind {
+	case trace.Store:
+		s.st.Stores++
+		cs.Stores++
+		val := c.storeToken()
+		s.l1s[c.id].access(a.Addr, accWrite, a.PC, val, func(uint64) {
+			if s.obs != nil {
+				s.obs.OnStore(c.id, a.Addr, val)
+			}
+			s.step(c)
+		})
+	case trace.RMW:
+		// Atomic fetch-and-increment: counted as a store (it acquires
+		// write permission) and observed as both a load of the old
+		// value and a store of old+1.
+		s.st.Stores++
+		s.st.RMWs++
+		cs.Stores++
+		s.l1s[c.id].access(a.Addr, accRMW, a.PC, 0, func(old uint64) {
+			if s.obs != nil {
+				s.obs.OnLoad(c.id, a.Addr, old)
+				s.obs.OnStore(c.id, a.Addr, old+1)
+			}
+			s.step(c)
+		})
+	default:
+		s.st.Loads++
+		cs.Loads++
+		s.l1s[c.id].access(a.Addr, accRead, a.PC, 0, func(loaded uint64) {
+			if s.obs != nil {
+				s.obs.OnLoad(c.id, a.Addr, loaded)
+			}
+			s.step(c)
+		})
+	}
+}
+
+// arriveBarrier parks the core until every live core reaches the
+// barrier. Cores whose streams already finished count as arrived, so a
+// workload may give cores unequal record counts after their last
+// common barrier.
+func (s *System) arriveBarrier(c *cpu) {
+	s.barrierArrived++
+	s.barrierWait = append(s.barrierWait, func() { s.step(c) })
+	s.releaseBarrierIfReady()
+}
+
+func (s *System) releaseBarrierIfReady() {
+	if s.barrierArrived == 0 || s.barrierArrived+s.coresDone < s.cfg.Cores {
+		return
+	}
+	waiters := s.barrierWait
+	s.barrierWait = nil
+	s.barrierArrived = 0
+	for _, resume := range waiters {
+		resume := resume
+		s.eng.Schedule(1, resume)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"protozoa/internal/mem"
+)
+
+// diagnose renders a stalled machine's state — the report attached to
+// deadlock and watchdog errors so a protocol bug can be localized
+// without re-running under a debugger: per-core progress and open
+// MSHRs, busy directory entries with their transaction and queue
+// state, and the barrier population.
+func (s *System) diagnose() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine state at %d cycles (%d events):\n", s.eng.Now(), s.eng.Processed())
+	for _, c := range s.cpus {
+		status := "running"
+		if c.done {
+			status = "done"
+		}
+		fmt.Fprintf(&b, "  core %2d: %-7s", c.id, status)
+		l1 := s.l1s[c.id]
+		if len(l1.mshrs) == 0 {
+			fmt.Fprintf(&b, " no open MSHRs\n")
+			continue
+		}
+		var regions []string
+		for region, ms := range l1.mshrs {
+			kind := "GETS"
+			if ms.upgrade {
+				kind = "UPGRADE"
+			} else if ms.mode.write() {
+				kind = "GETX"
+			}
+			regions = append(regions, fmt.Sprintf("region %d %s [%s] since cycle %d",
+				region, kind, ms.want, ms.issuedAt))
+		}
+		sort.Strings(regions)
+		fmt.Fprintf(&b, " MSHRs: %s\n", strings.Join(regions, "; "))
+	}
+	busy := 0
+	for _, d := range s.dirs {
+		var regions []uint64
+		for region := range d.entries {
+			regions = append(regions, uint64(region))
+		}
+		sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+		for _, region := range regions {
+			e := d.entries[mem.RegionID(region)]
+			if !e.busy {
+				continue
+			}
+			busy++
+			fmt.Fprintf(&b, "  dir %2d region %d: busy sharers=%v owners=%v queue=%d",
+				d.node, region, e.sharers, e.owners, len(e.queue))
+			if e.txn != nil {
+				fmt.Fprintf(&b, " txn=%d (%s) waiting=%d", e.txn.id, e.txn.req.Type, e.txn.waiting)
+			} else {
+				fmt.Fprintf(&b, " awaiting unblock")
+			}
+			if e.pendingUnblock {
+				fmt.Fprintf(&b, " (unblock parked)")
+			}
+			fmt.Fprintf(&b, "\n")
+		}
+	}
+	if busy == 0 {
+		fmt.Fprintf(&b, "  no busy directory entries\n")
+	}
+	fmt.Fprintf(&b, "  barrier: %d arrived, %d cores done\n", s.barrierArrived, s.coresDone)
+	return b.String()
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"fmt"
+
+	"protozoa/internal/directory"
+	"protozoa/internal/engine"
+	"protozoa/internal/mem"
+)
+
+// dirSlice is one tile's slice of the shared inclusive L2 with its
+// in-cache directory. Sharers are tracked at REGION granularity with a
+// precise bit vector; Protozoa-MW keeps a second vector separating
+// writers (owners) from readers, exactly as the paper's Section 3.4
+// directory does. The slice serializes coherence: at most one
+// transaction is active per region, later requests queue behind it,
+// and spontaneous (eviction) writebacks are response-class messages
+// processed even while the region is busy.
+type dirSlice struct {
+	sys      *System
+	node     int
+	entries  map[mem.RegionID]*dirEntry
+	touchSeq uint64
+	bloom    *bloomDir // non-nil when Config.Directory == DirBloom
+
+	// memory holds regions written back on inclusion evictions; absent
+	// regions read as zero (fresh physical memory).
+	memory map[mem.RegionID][]uint64
+}
+
+// dirEntry is one region's directory entry plus its L2 data block.
+type dirEntry struct {
+	region  mem.RegionID
+	sharers directory.NodeSet // every L1 possibly caching a sub-block
+	owners  directory.NodeSet // subset possibly holding dirty/exclusive sub-blocks
+
+	data       []uint64   // the fixed-granularity L2 data block
+	valid      mem.Bitmap // words present at the L2 (always full when inclusive)
+	l2dirty    bool       // L2 newer than memory
+	memTouched bool       // first-touch memory fetch already paid
+
+	busy           bool
+	txn            *dirTxn
+	queue          []*Msg
+	pendingUnblock bool   // 3-hop: requester unblocked before the probes retired
+	auditFrom      string // state at transaction activation (transition audit)
+
+	touch uint64 // LRU stamp for finite-L2 inclusion eviction
+}
+
+// dirTxn is one active coherence transaction.
+type dirTxn struct {
+	id        uint64
+	req       *Msg
+	waiting   int  // probe replies outstanding
+	forwarded bool // a 3-hop owner already supplied the requester
+}
+
+func newDirSlice(sys *System, node int) *dirSlice {
+	d := &dirSlice{
+		sys: sys, node: node,
+		entries: make(map[mem.RegionID]*dirEntry),
+		memory:  make(map[mem.RegionID][]uint64),
+	}
+	if sys.cfg.Directory == DirBloom {
+		hashes, buckets := sys.cfg.BloomHashes, sys.cfg.BloomBuckets
+		if hashes <= 0 {
+			hashes = DefaultBloomHashes
+		}
+		if buckets <= 0 {
+			buckets = DefaultBloomBuckets
+		}
+		d.bloom = newBloomDir(hashes, buckets, sys.cfg.Cores)
+	}
+	return d
+}
+
+// sharersOf returns the sharer set the directory hardware would see:
+// the exact vector in precise mode, the AND-of-k-filters superset in
+// bloom mode.
+func (d *dirSlice) sharersOf(e *dirEntry) directory.NodeSet {
+	if d.bloom != nil {
+		return d.bloom.sharers(e.region)
+	}
+	return e.sharers
+}
+
+// addSharer and removeSharer keep e.sharers as the exactly-paired
+// insert/remove bookkeeping. In bloom mode that mirrors what TL
+// hardware gets for free from the L1s' own tags (an L1 knows whether
+// it already holds blocks of a region, and bloom mode's replacement
+// notifications make removals explicit); the counting filter is
+// updated only on genuine membership changes, so aliasing can create
+// false positives but never false negatives.
+func (d *dirSlice) addSharer(e *dirEntry, n int) {
+	if e.sharers.Has(n) {
+		return
+	}
+	e.sharers = e.sharers.Add(n)
+	if d.bloom != nil {
+		d.bloom.add(e.region, n)
+	}
+}
+
+func (d *dirSlice) removeSharer(e *dirEntry, n int) {
+	if !e.sharers.Has(n) {
+		return
+	}
+	e.sharers = e.sharers.Remove(n)
+	if d.bloom != nil {
+		d.bloom.remove(e.region, n)
+	}
+}
+
+func (d *dirSlice) entry(region mem.RegionID) *dirEntry {
+	e, ok := d.entries[region]
+	if !ok {
+		if cap := d.sys.cfg.L2RegionsPerTile; cap > 0 && len(d.entries) >= cap {
+			d.evictLRURegion()
+		}
+		e = &dirEntry{
+			region: region,
+			data:   make([]uint64, d.sys.geom.WordsPerRegion()),
+			valid:  d.sys.geom.FullRange().Bitmap(),
+		}
+		if saved, hit := d.memory[region]; hit {
+			copy(e.data, saved)
+		}
+		d.entries[region] = e
+	}
+	d.touchSeq++
+	e.touch = d.touchSeq
+	return e
+}
+
+// evictLRURegion frees one L2 slot: the least-recently-touched idle
+// region is recalled (its L1 copies invalidated, preserving inclusion)
+// and its dirty data written back to memory. Busy regions are never
+// victims; if everything is busy the slice briefly overshoots, like a
+// hardware MSHR-full stall resolved a few cycles later.
+func (d *dirSlice) evictLRURegion() {
+	var victim *dirEntry
+	for _, e := range d.entries {
+		if e.busy || len(e.queue) > 0 {
+			continue
+		}
+		if victim == nil || e.touch < victim.touch ||
+			(e.touch == victim.touch && e.region < victim.region) {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return
+	}
+	d.sys.st.Recalls++
+	targets := victim.sharers.Union(victim.owners)
+	if targets.Empty() {
+		d.dropEntry(victim)
+		return
+	}
+	victim.busy = true
+	d.sys.nextTxn++
+	victim.txn = &dirTxn{
+		id:      d.sys.nextTxn,
+		req:     &Msg{Type: MsgRecall, Region: victim.region},
+		waiting: targets.Count(),
+	}
+	full := d.sys.geom.FullRange()
+	targets.ForEach(func(t int) {
+		d.sys.send(&Msg{
+			Type: MsgInv, Src: d.node, Dst: t,
+			Region: victim.region, R: full, TxnID: victim.txn.id,
+		})
+	})
+}
+
+// dropEntry writes a dirty region back to memory and frees the slot.
+func (d *dirSlice) dropEntry(e *dirEntry) {
+	if e.l2dirty {
+		d.sys.st.MemWritebacks++
+		d.persistWords(e, e.valid)
+	}
+	delete(d.entries, e.region)
+}
+
+// persistWords updates the memory image with the entry's words covered
+// by mask (only L2-valid data may be persisted).
+func (d *dirSlice) persistWords(e *dirEntry, mask mem.Bitmap) {
+	mask = mask.Intersect(e.valid)
+	if mask == 0 {
+		return
+	}
+	saved, ok := d.memory[e.region]
+	if !ok {
+		saved = make([]uint64, len(e.data))
+		d.memory[e.region] = saved
+	}
+	for w := 0; w < len(e.data); w++ {
+		if mask.Has(uint8(w)) {
+			saved[w] = e.data[w]
+		}
+	}
+}
+
+// fetchMissing re-fetches words absent from a non-inclusive L2 from
+// the memory image and reports whether a memory access was needed —
+// the multi-source assembly of Section 6.
+func (d *dirSlice) fetchMissing(e *dirEntry, need mem.Bitmap) bool {
+	missing := need.Intersect(e.valid ^ d.sys.geom.FullRange().Bitmap())
+	if missing == 0 {
+		return false
+	}
+	saved := d.memory[e.region] // nil reads as zero memory
+	for w := 0; w < len(e.data); w++ {
+		if missing.Has(uint8(w)) {
+			if saved != nil {
+				e.data[w] = saved[w]
+			} else {
+				e.data[w] = 0
+			}
+		}
+	}
+	e.valid = e.valid.Union(missing)
+	return true
+}
+
+// recvRequest accepts GETS/GETX/UPGRADE. One transaction per region:
+// a busy region queues the request.
+func (d *dirSlice) recvRequest(m *Msg) {
+	e := d.entry(m.Region)
+	if e.busy {
+		e.queue = append(e.queue, m)
+		return
+	}
+	d.activate(e, m)
+}
+
+// activate starts a transaction: pay the L2 access latency (plus the
+// one-time memory fetch for the region's first touch) and then process.
+func (d *dirSlice) activate(e *dirEntry, m *Msg) {
+	e.busy = true
+	lat := d.sys.cfg.L2Lat
+	if !e.memTouched {
+		e.memTouched = true
+		d.sys.st.MemReads++
+		lat += d.sys.cfg.MemLat
+	}
+	d.sys.eng.Schedule(lat, func() { d.process(e, m) })
+}
+
+// process runs the directory state machine for one request.
+func (d *dirSlice) process(e *dirEntry, m *Msg) {
+	if d.sys.transitions != nil {
+		e.auditFrom = d.dirState(e)
+	}
+	// Figure 11 accounting: record the sharer mix every time a request
+	// reaches an entry in Owned state.
+	if !e.owners.Empty() {
+		switch {
+		case e.owners.Count() > 1:
+			d.sys.st.DirMultiOwner++
+		case d.sharersOf(e).Without(e.owners).Empty():
+			d.sys.st.DirOwnerOneOnly++
+		default:
+			d.sys.st.DirOwnerPlusSharers++
+		}
+	}
+
+	req := m.Src
+	var targets directory.NodeSet
+	switch m.Type {
+	case MsgGetS:
+		// Readers are never probed on a read; only (possible) owners
+		// must surrender write permission.
+		targets = e.owners.Remove(req)
+	case MsgGetX, MsgUpgrade:
+		targets = d.sharersOf(e).Union(e.owners).Remove(req)
+	default:
+		panic(fmt.Sprintf("core: directory activated on %v", m.Type))
+	}
+	if targets.Empty() {
+		d.finish(e, m, false)
+		return
+	}
+	d.sys.nextTxn++
+	e.txn = &dirTxn{id: d.sys.nextTxn, req: m, waiting: targets.Count()}
+	// 3-hop: with exactly one target that is an owner and a data-bearing
+	// request, let the owner forward the data straight to the requester.
+	direct := d.sys.cfg.ThreeHop && targets.Count() == 1 &&
+		(m.Type == MsgGetS || m.Type == MsgGetX)
+	targets.ForEach(func(t int) {
+		probe := &Msg{
+			Src: d.node, Dst: t,
+			Region: m.Region, R: m.R,
+			Requester: req, TxnID: e.txn.id,
+		}
+		switch {
+		case m.Type == MsgGetS:
+			probe.Type = MsgFwdGetS
+		case e.owners.Has(t):
+			probe.Type = MsgFwdGetX
+		default:
+			probe.Type = MsgInv
+		}
+		probe.Direct = direct && e.owners.Has(t)
+		d.sys.send(probe)
+	})
+}
+
+// recvResponse accepts probe replies and spontaneous writebacks. Both
+// patch the L2 and refresh the sharer/owner vectors from the
+// responder's StillSharer/StillOwner flags; probe replies additionally
+// retire the active transaction.
+func (d *dirSlice) recvResponse(m *Msg) {
+	e := d.entry(m.Region)
+	if m.Type == MsgUnblock {
+		if e.txn != nil {
+			// 3-hop: the owner-supplied fill beat the probe replies to
+			// the directory; hold the unblock until the txn retires.
+			e.pendingUnblock = true
+			return
+		}
+		d.unblock(e)
+		return
+	}
+	// Patch dirty words into the L2 (restoring their validity when the
+	// non-inclusive L2 had dropped them).
+	carried := m.Valid.Intersect(m.Dirty)
+	if carried != 0 {
+		for w := uint8(0); int(w) < d.sys.geom.WordsPerRegion(); w++ {
+			if carried.Has(w) {
+				e.data[w] = m.Words[w]
+			}
+		}
+		e.valid = e.valid.Union(carried)
+		e.l2dirty = true
+	}
+	var evictAudit func()
+	if d.sys.transitions != nil && m.TxnID == 0 {
+		from := d.dirState(e)
+		evictAudit = func() {
+			d.sys.recordTransition("Dir", from, m.Type.String(), d.dirState(e))
+		}
+	}
+	if !m.StillSharer {
+		d.removeSharer(e, m.Src)
+	}
+	if !m.StillOwner {
+		e.owners = e.owners.Remove(m.Src)
+	}
+	if evictAudit != nil {
+		evictAudit()
+	}
+	if m.TxnID != 0 && e.txn != nil && m.TxnID == e.txn.id {
+		if m.ForwardedData {
+			e.txn.forwarded = true
+		}
+		e.txn.waiting--
+		if e.txn.waiting == 0 {
+			req := e.txn.req
+			forwarded := e.txn.forwarded
+			e.txn = nil
+			d.finish(e, req, forwarded)
+		}
+	}
+}
+
+// finish completes a transaction: reply to the requester (unless a
+// 3-hop owner already did) and update the vectors for its new
+// permissions.
+func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
+	if m.Type == MsgRecall {
+		// Inclusion eviction completed: every copy is invalidated and
+		// dirty data patched. If a request raced in while the recall
+		// ran, abandon the eviction and serve it (the data is current);
+		// otherwise free the slot.
+		if len(e.queue) > 0 {
+			next := e.queue[0]
+			e.queue = e.queue[1:]
+			e.txn = nil
+			d.sys.eng.Schedule(1, func() { d.activate(e, next) })
+		} else {
+			e.busy = false
+			d.dropEntry(e)
+		}
+		return
+	}
+	req := m.Src
+	reply := &Msg{
+		Src: d.node, Dst: req,
+		Region: m.Region, R: m.R,
+	}
+	switch m.Type {
+	case MsgGetS:
+		if d.sharersOf(e).Remove(req).Empty() && e.owners.Remove(req).Empty() {
+			// No cached copies anywhere else — any remaining requester
+			// bits are stale leftovers of its own silent clean drop:
+			// grant Exclusive and track the holder as a potential
+			// (silent-M) owner.
+			reply.Type = MsgDataE
+			e.owners = e.owners.Add(req)
+		} else {
+			reply.Type = MsgData
+		}
+		d.addSharer(e, req)
+	case MsgGetX, MsgUpgrade:
+		if m.Type == MsgUpgrade && d.sharersOf(e).Has(req) {
+			// The requester's clean copy survived: permission only.
+			reply.Type = MsgGrant
+		} else {
+			reply.Type = MsgDataM
+		}
+		if d.sys.cfg.Protocol == ProtozoaMW {
+			e.owners = e.owners.Add(req)
+		} else {
+			e.owners = directory.NodeSet(0).Add(req)
+		}
+		d.addSharer(e, req)
+	}
+
+	// Assemble the payload. A non-inclusive L2 may have to re-fetch
+	// words it dropped when it granted them exclusively (Section 6:
+	// "request them from the lower level and combine them with the
+	// block obtained from Core-1").
+	dataBearing := reply.Type == MsgData || reply.Type == MsgDataE || reply.Type == MsgDataM
+	var delay engine.Cycle
+	if dataBearing && !forwarded {
+		if d.sys.cfg.NonInclusiveL2 && d.fetchMissing(e, m.R.Bitmap()) {
+			d.sys.st.MemFetches++
+			delay = d.sys.cfg.MemLat
+		}
+		d.loadPayload(e, reply)
+	}
+	// A non-inclusive L2 drops its copy of exclusively granted words
+	// (persisting dirty data to memory first so it is never lost).
+	if d.sys.cfg.NonInclusiveL2 &&
+		(m.Type == MsgGetX || m.Type == MsgUpgrade || reply.Type == MsgDataE) {
+		granted := m.R.Bitmap()
+		if e.l2dirty {
+			d.persistWords(e, granted)
+		}
+		e.valid = e.valid.Intersect(granted ^ d.sys.geom.FullRange().Bitmap())
+	}
+	if !forwarded {
+		if delay > 0 {
+			d.sys.eng.Schedule(delay, func() { d.sys.send(reply) })
+		} else {
+			d.sys.send(reply)
+		}
+	}
+	if d.sys.transitions != nil {
+		d.sys.recordTransition("Dir", e.auditFrom, m.Type.String(), d.dirState(e))
+	}
+	// The region stays busy until the requester's UNBLOCK confirms the
+	// fill is installed; only then may the next transaction's probes
+	// fly, so a probe can never overtake the data it conflicts with.
+	// With 3-hop forwarding the unblock may already have arrived.
+	if e.pendingUnblock {
+		e.pendingUnblock = false
+		d.unblock(e)
+	}
+}
+
+// unblock reopens the region after the requester installed its fill
+// and activates the next queued transaction, if any.
+func (d *dirSlice) unblock(e *dirEntry) {
+	if d.sys.obs != nil {
+		d.sys.obs.OnTxnEnd(e.region)
+	}
+	if len(e.queue) > 0 {
+		next := e.queue[0]
+		e.queue = e.queue[1:]
+		d.sys.eng.Schedule(1, func() { d.activate(e, next) })
+	} else {
+		e.busy = false
+	}
+}
+
+// loadPayload fills a data reply with the requested words from the L2
+// block.
+func (d *dirSlice) loadPayload(e *dirEntry, reply *Msg) {
+	for w := reply.R.Start; ; w++ {
+		reply.Words[w] = e.data[w]
+		if w == reply.R.End {
+			break
+		}
+	}
+	reply.Valid = reply.R.Bitmap()
+}

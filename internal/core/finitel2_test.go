@@ -1,0 +1,123 @@
+package core
+
+// Tests for the finite inclusive L2 with recall-on-eviction.
+
+import (
+	"testing"
+
+	"protozoa/internal/trace"
+)
+
+func TestFiniteL2RecallsAndWritesBack(t *testing.T) {
+	for _, p := range AllProtocols {
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := testConfig(p, 1)
+			cfg.L2RegionsPerTile = 4
+			var recs []trace.Access
+			// Dirty 12 regions on one tile (1 core = 1 tile): far over
+			// the 4-region L2, forcing recalls with memory writebacks.
+			for i := 0; i < 12; i++ {
+				recs = append(recs, st(regAddr(i)))
+			}
+			sys := runSys(t, cfg, [][]trace.Access{recs})
+			st := sys.Stats()
+			if st.Recalls == 0 {
+				t.Error("no recalls with a 4-region L2 and 12 dirty regions")
+			}
+			if st.MemWritebacks == 0 {
+				t.Error("no memory writebacks on dirty recalls")
+			}
+		})
+	}
+}
+
+func TestFiniteL2RecallPreservesValues(t *testing.T) {
+	// Write all regions, thrash the L2, then read everything back: each
+	// load must return the stored token (data survives recall through
+	// the memory backing store).
+	for _, p := range AllProtocols {
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := testConfig(p, 1)
+			cfg.L2RegionsPerTile = 4
+			cfg.L1Sets = 1 // tiny L1, so reads after thrash go to L2/memory
+			const n = 12
+			var recs []trace.Access
+			for i := 0; i < n; i++ {
+				recs = append(recs, st(regAddr(i)))
+			}
+			for i := 0; i < n; i++ {
+				recs = append(recs, ld(regAddr(i)))
+			}
+			streams := []trace.Stream{trace.NewSliceStream(recs)}
+			sys, err := NewSystem(cfg, streams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chk := newChecker(t, sys)
+			if err := sys.Run(); err != nil {
+				t.Fatal(err)
+			}
+			_ = chk // load values validated against golden by the checker
+		})
+	}
+}
+
+func TestFiniteL2InclusionInvalidatesL1Copies(t *testing.T) {
+	// Core 1 keeps region 0 cached; core 0 thrashes the same home
+	// tile's L2. When region 0 is recalled, core 1's copy must be
+	// invalidated (inclusion), and core 1's next read misses.
+	cfg := testConfig(MESI, 2)
+	cfg.L2RegionsPerTile = 3
+	var c0, c1 []trace.Access
+	c1 = append(c1, ld(0x0), trace.Access{Kind: trace.Barrier})
+	c0 = append(c0, trace.Access{Kind: trace.Barrier})
+	for i := 1; i <= 8; i++ {
+		c0 = append(c0, st(regAddr(2*i))) // home tile 0, evicts region 0
+	}
+	c0 = append(c0, trace.Access{Kind: trace.Barrier})
+	c1 = append(c1, trace.Access{Kind: trace.Barrier}, ld(0x0))
+	sys := runSys(t, cfg, [][]trace.Access{c0, c1})
+	st := sys.Stats()
+	if st.Recalls == 0 {
+		t.Fatal("L2 never recalled")
+	}
+	if st.Invalidations == 0 {
+		t.Error("recall did not invalidate the L1 copy (inclusion broken)")
+	}
+	// Core 1's second read of region 0 must be a miss: 1 (c1 first) +
+	// 8 (c0 stores) + 1 (c1 re-read) = 10 misses minimum.
+	if st.L1Misses < 10 {
+		t.Errorf("misses = %d, want >= 10 (re-read must miss)", st.L1Misses)
+	}
+}
+
+func TestFiniteL2Stress(t *testing.T) {
+	// Random stress with golden-value checking while the L2 thrashes.
+	for _, p := range AllProtocols {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := testConfig(p, 4)
+			cfg.L2RegionsPerTile = 3
+			cfg.MaxEvents = 8_000_000
+			perCore := randomStreams(4, 1200, 16, 40, 55)
+			streams := make([]trace.Stream, 4)
+			for i := range streams {
+				streams[i] = trace.NewSliceStream(perCore[i])
+			}
+			sys, err := NewSystem(cfg, streams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chk := newChecker(t, sys)
+			if err := sys.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if chk.Checks == 0 {
+				t.Error("checker never ran")
+			}
+			if sys.Stats().Recalls == 0 {
+				t.Error("stress run never recalled (L2 bound ineffective)")
+			}
+		})
+	}
+}

@@ -1,0 +1,593 @@
+package core
+
+import (
+	"fmt"
+
+	"protozoa/internal/stats"
+
+	"protozoa/internal/cache"
+	"protozoa/internal/engine"
+	"protozoa/internal/mem"
+	"protozoa/internal/predictor"
+)
+
+// l1Ctrl is one core's private L1 cache controller. It owns the
+// Amoeba storage, the PC predictor, and the region-indexed MSHRs, and
+// implements the L1 half of every protocol variant: miss issue,
+// fills, upgrades, and the multi-block CHECK/GATHER snoop handling of
+// Figure 3 (including the Figure 6 race where a forwarded probe
+// arrives while a miss to another sub-block of the same region is
+// outstanding).
+type l1Ctrl struct {
+	sys   *System
+	id    int
+	cache *cache.Cache
+	pred  predictor.Predictor
+	mshrs map[mem.RegionID]*mshr
+
+	// wordCause remembers, per word, why this L1 last lost it — the
+	// cold/capacity/coherence/granularity miss classification.
+	wordCause map[mem.RegionID]*[mem.MaxRegionWords]deathCause
+}
+
+// deathCause classifies how a word last left this L1.
+type deathCause uint8
+
+const (
+	neverResident deathCause = iota
+	diedByEviction
+	diedByInvalidation
+)
+
+// mshr tracks one outstanding CPU-side miss. The in-order core has at
+// most one, but the map is keyed by region to mirror the hardware
+// structure (the paper indexes MSHRs at REGION granularity and
+// serializes multiple misses to the same region).
+// accessMode distinguishes the CPU reference kinds at the L1.
+type accessMode uint8
+
+const (
+	accRead accessMode = iota
+	accWrite
+	accRMW
+)
+
+func (m accessMode) write() bool { return m != accRead }
+
+type mshr struct {
+	region   mem.RegionID
+	mode     accessMode
+	upgrade  bool
+	upgradeR mem.Range // resident block an UPGRADE covers
+	want     mem.Range
+	word     uint8
+	pc       uint64
+	storeVal uint64
+	issuedAt engine.Cycle // miss-latency accounting
+	done     func(uint64)
+}
+
+func newL1(sys *System, id int, c *cache.Cache, p predictor.Predictor) *l1Ctrl {
+	return &l1Ctrl{
+		sys: sys, id: id, cache: c, pred: p,
+		mshrs:     make(map[mem.RegionID]*mshr),
+		wordCause: make(map[mem.RegionID]*[mem.MaxRegionWords]deathCause),
+	}
+}
+
+// markDeath records how a dead block's words left the cache.
+func (l *l1Ctrl) markDeath(b *cache.Block, cause deathCause) {
+	wc := l.wordCause[b.Region]
+	if wc == nil {
+		wc = new([mem.MaxRegionWords]deathCause)
+		l.wordCause[b.Region] = wc
+	}
+	for w := b.R.Start; ; w++ {
+		wc[w] = cause
+		if w == b.R.End {
+			break
+		}
+	}
+}
+
+// classifyMiss attributes a miss to cold / capacity / coherence /
+// granularity. An upgrade re-acquiring write permission on resident
+// data counts as a coherence miss (a prior invalidation or shared
+// grant forces it); a miss on a word of a partially resident region is
+// a granularity miss (adaptive storage underfetched); otherwise the
+// region's last death decides.
+func (l *l1Ctrl) classifyMiss(region mem.RegionID, w uint8, upgrade bool) {
+	if upgrade {
+		l.sys.st.MissesCoherence++
+		return
+	}
+	var cause deathCause
+	if wc := l.wordCause[region]; wc != nil {
+		cause = wc[w]
+	}
+	switch cause {
+	case diedByEviction:
+		l.sys.st.MissesCapacity++
+	case diedByInvalidation:
+		l.sys.st.MissesCoherence++
+	default:
+		if l.cache.HasRegion(region) {
+			l.sys.st.MissesGranularity++
+		} else {
+			l.sys.st.MissesCold++
+		}
+	}
+}
+
+// cs is this core's per-core counter slice.
+func (l *l1Ctrl) cs() *stats.CoreStats { return &l.sys.st.PerCore[l.id] }
+
+// access performs one CPU memory reference. done is invoked with the
+// loaded value (or the stored value) when the reference completes.
+func (l *l1Ctrl) access(addr mem.Addr, mode accessMode, pc, storeVal uint64, done func(uint64)) {
+	// The 2-cycle L1 pipeline: resolve the access after the hit latency
+	// so values bind at completion time.
+	l.sys.eng.Schedule(l.sys.cfg.L1HitLat, func() {
+		l.resolve(addr, mode, pc, storeVal, done)
+	})
+}
+
+// applyWrite commits a store or RMW to a writable block and returns
+// the value the CPU observes (the stored value, or the pre-increment
+// value for an RMW).
+func applyWrite(b *cache.Block, w uint8, mode accessMode, storeVal uint64) uint64 {
+	b.State = cache.Modified
+	b.Touch(w)
+	if mode == accRMW {
+		old := b.Word(w)
+		b.SetWord(w, old+1)
+		return old
+	}
+	b.SetWord(w, storeVal)
+	return storeVal
+}
+
+func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, done func(uint64)) {
+	g := l.sys.geom
+	region, w := g.Region(addr), g.WordOffset(addr)
+	audit := l.auditFrom(region)
+	event := "Load"
+	if mode.write() {
+		event = "Store"
+	}
+	b := l.cache.Lookup(region, w)
+	if b != nil {
+		if !mode.write() {
+			l.sys.st.L1Hits++
+			l.cs().Hits++
+			b.Touch(w)
+			audit(event)
+			done(b.Word(w))
+			return
+		}
+		switch b.State {
+		case cache.Modified, cache.Exclusive:
+			l.sys.st.L1Hits++
+			l.cs().Hits++
+			val := applyWrite(b, w, mode, storeVal)
+			audit(event)
+			done(val)
+			return
+		case cache.Shared:
+			// Write to a clean shared block: upgrade miss.
+			l.sys.st.L1Misses++
+			l.cs().Misses++
+			l.sys.st.UpgradeMisses++
+			l.classifyMiss(region, w, true)
+			l.startMiss(&mshr{
+				region: region, mode: mode, upgrade: true, upgradeR: b.R,
+				want: b.R, word: w, pc: pc, storeVal: storeVal, done: done,
+			}, MsgUpgrade)
+			audit(event)
+			return
+		}
+	}
+	// Plain miss: predict the fetch range and trim it against resident
+	// sub-blocks so blocks never overlap.
+	l.sys.st.L1Misses++
+	l.cs().Misses++
+	l.classifyMiss(region, w, false)
+	want := l.cache.TrimFill(region, l.pred.Predict(pc, region, w), w)
+	ms := &mshr{
+		region: region, mode: mode,
+		want: want, word: w, pc: pc, storeVal: storeVal, done: done,
+	}
+	if mode.write() {
+		l.startMiss(ms, MsgGetX)
+	} else {
+		l.startMiss(ms, MsgGetS)
+	}
+	audit(event)
+}
+
+// auditFrom snapshots the region state and returns a closure that
+// records the transition once the event has been applied. A no-op
+// when transition auditing is disabled.
+func (l *l1Ctrl) auditFrom(region mem.RegionID) func(event string) {
+	if l.sys.transitions == nil {
+		return func(string) {}
+	}
+	from := l.regionState(region)
+	return func(event string) {
+		l.sys.recordTransition("L1", from, event, l.regionState(region))
+	}
+}
+
+func (l *l1Ctrl) startMiss(ms *mshr, t MsgType) {
+	if _, exists := l.mshrs[ms.region]; exists {
+		panic(fmt.Sprintf("core: L1 %d issued a second miss to region %d (in-order core)", l.id, ms.region))
+	}
+	ms.issuedAt = l.sys.eng.Now()
+	l.mshrs[ms.region] = ms
+	l.sys.send(&Msg{
+		Type: t, Src: l.id, Dst: l.sys.home(ms.region),
+		Region: ms.region, R: ms.want, Requester: l.id,
+	})
+}
+
+// retireMiss records the completed miss's latency.
+func (l *l1Ctrl) retireMiss(ms *mshr) {
+	l.sys.st.RecordMissLatency(uint64(l.sys.eng.Now() - ms.issuedAt))
+}
+
+// recv dispatches a directory-to-L1 message.
+func (l *l1Ctrl) recv(m *Msg) {
+	switch m.Type {
+	case MsgData, MsgDataE, MsgDataM:
+		l.fill(m)
+	case MsgGrant:
+		l.grant(m)
+	case MsgFwdGetS:
+		l.probeGetS(m)
+	case MsgFwdGetX, MsgInv:
+		l.probeInval(m)
+	default:
+		panic(fmt.Sprintf("core: L1 %d received unexpected %v", l.id, m.Type))
+	}
+}
+
+// fill installs an arriving data response and completes the miss.
+func (l *l1Ctrl) fill(m *Msg) {
+	ms := l.mshrs[m.Region]
+	if ms == nil {
+		panic(fmt.Sprintf("core: L1 %d data for region %d without MSHR", l.id, m.Region))
+	}
+	defer l.auditFrom(m.Region)(m.Type.String())
+	var st cache.State
+	switch m.Type {
+	case MsgData:
+		st = cache.Shared
+	case MsgDataE:
+		st = cache.Exclusive
+	case MsgDataM:
+		st = cache.Modified
+	}
+	blk := cache.Block{
+		Region: m.Region, R: m.R, State: st,
+		FetchPC: ms.pc, FetchWord: ms.word,
+		Data: make([]uint64, m.R.Words()),
+	}
+	for w := m.R.Start; ; w++ {
+		blk.Data[w-m.R.Start] = m.Words[w]
+		if w == m.R.End {
+			break
+		}
+	}
+	l.sys.st.RecordFill(m.R.Words())
+	l.sys.st.DataWordsIn += uint64(m.PayloadWords())
+	victims := l.cache.Insert(blk)
+	l.handleVictims(victims)
+
+	b := l.cache.Lookup(m.Region, ms.word)
+	if b == nil {
+		panic("core: filled block immediately evicted (set budget too small)")
+	}
+	b.Touch(ms.word)
+	val := b.Word(ms.word)
+	if ms.mode.write() {
+		val = applyWrite(b, ms.word, ms.mode, ms.storeVal)
+	}
+	delete(l.mshrs, m.Region)
+	l.retireMiss(ms)
+	l.sendUnblock(m.Region)
+	ms.done(val)
+}
+
+// sendUnblock reopens the region at the directory once a response has
+// been installed.
+func (l *l1Ctrl) sendUnblock(region mem.RegionID) {
+	l.sys.send(&Msg{
+		Type: MsgUnblock, Src: l.id, Dst: l.sys.home(region),
+		Region: region,
+	})
+}
+
+// grant completes an upgrade. If a racing remote write invalidated the
+// block while the upgrade was queued at the directory (the L1 answered
+// ACK-S for its other sub-blocks, so the directory still saw it as a
+// sharer), the upgrade is reissued as a full GETX — the SM -> IM path.
+func (l *l1Ctrl) grant(m *Msg) {
+	ms := l.mshrs[m.Region]
+	if ms == nil || !ms.upgrade {
+		panic(fmt.Sprintf("core: L1 %d grant for region %d without upgrade MSHR", l.id, m.Region))
+	}
+	b := l.cache.Peek(m.Region, ms.word)
+	if b == nil {
+		defer l.auditFrom(m.Region)("GrantReissue")
+		// Block was invalidated under us: unblock the directory, then
+		// retry as a full write miss (it will queue behind any activity).
+		l.sendUnblock(m.Region)
+		ms.upgrade = false
+		ms.want = l.cache.TrimFill(ms.region, ms.upgradeR, ms.word)
+		l.sys.send(&Msg{
+			Type: MsgGetX, Src: l.id, Dst: l.sys.home(ms.region),
+			Region: ms.region, R: ms.want, Requester: l.id,
+		})
+		return
+	}
+	audit := l.auditFrom(m.Region)
+	val := applyWrite(b, ms.word, ms.mode, ms.storeVal)
+	delete(l.mshrs, m.Region)
+	l.retireMiss(ms)
+	l.sendUnblock(m.Region)
+	audit("Grant")
+	ms.done(val)
+}
+
+// probeGetS handles a forwarded read probe: the L1 is (possibly) an
+// owner and must surrender write permission on the requested words.
+// MESI and Protozoa-SW downgrade the whole region (region-granularity
+// coherence); SW+MR and MW downgrade only overlapping sub-blocks, so
+// non-overlapping dirty data stays writable (adaptive coherence
+// granularity).
+func (l *l1Ctrl) probeGetS(m *Msg) {
+	defer l.auditFrom(m.Region)("FwdGetS")
+	blocks := l.cache.BlocksInRegion(m.Region)
+	if len(blocks) == 0 {
+		l.nack(m)
+		return
+	}
+	reply := &Msg{
+		Type: MsgAck, Src: l.id, Dst: m.Src,
+		Region: m.Region, TxnID: m.TxnID,
+	}
+	reply.ForwardedData = m.Direct && l.tryDirectForward(m, MsgData)
+	scopeOverlap := l.overlapCoherence()
+	processed := 0
+	for _, b := range blocks {
+		if scopeOverlap && !b.R.Overlaps(m.R) {
+			continue
+		}
+		processed++
+		switch b.State {
+		case cache.Modified:
+			l.carry(reply, b)
+			b.State = cache.Shared
+		case cache.Exclusive:
+			b.State = cache.Shared
+		}
+	}
+	reply.StillSharer = true
+	reply.StillOwner = l.anyDirtyOrExclusive(m.Region)
+	l.finishReply(reply, processed)
+}
+
+// probeInval handles FWD_GETX and INV probes: a remote writer needs
+// the requested words, so overlapping sub-blocks must be invalidated
+// (the whole region under MESI/Protozoa-SW). Under SW+MR an owner
+// additionally loses write permission on its non-overlapping blocks —
+// the single-writer rule — while under MW they stay writable.
+func (l *l1Ctrl) probeInval(m *Msg) {
+	defer l.auditFrom(m.Region)(m.Type.String())
+	if m.Type == MsgInv {
+		l.sys.st.InvMsgs++
+	}
+	if !l.cache.HasRegion(m.Region) {
+		l.nack(m)
+		return
+	}
+	reply := &Msg{
+		Type: MsgAck, Src: l.id, Dst: m.Src,
+		Region: m.Region, TxnID: m.TxnID,
+	}
+	if m.Type == MsgFwdGetX {
+		// Capture the words before they are extracted below.
+		reply.ForwardedData = m.Direct && l.tryDirectForward(m, MsgDataM)
+	}
+	var extracted []cache.Block
+	if l.overlapCoherence() {
+		extracted = l.cache.ExtractOverlapping(m.Region, m.R)
+	} else {
+		extracted = l.cache.ExtractRegion(m.Region)
+	}
+
+	processed := len(extracted)
+	for i := range extracted {
+		b := &extracted[i]
+		l.markDeath(b, diedByInvalidation)
+		l.classifyDeath(b)
+		if b.State == cache.Modified {
+			l.carry(reply, b)
+		}
+	}
+	if len(extracted) > 0 {
+		l.sys.st.Invalidations++
+		l.cs().Invalidations++
+	}
+	// Protozoa-SW+MR: the probed owner is fully revoked — remaining
+	// dirty blocks are written back and downgraded to Shared, so only
+	// one writer exists at a time.
+	if l.sys.cfg.Protocol == ProtozoaSWMR && m.Type == MsgFwdGetX {
+		for _, b := range l.cache.BlocksInRegion(m.Region) {
+			switch b.State {
+			case cache.Modified:
+				l.carry(reply, b)
+				b.State = cache.Shared
+				processed++
+			case cache.Exclusive:
+				b.State = cache.Shared
+				processed++
+			}
+		}
+	}
+	reply.StillSharer = l.cache.HasRegion(m.Region)
+	reply.StillOwner = l.anyDirtyOrExclusive(m.Region)
+	l.finishReply(reply, processed)
+}
+
+// overlapCoherence reports whether probes act at the granularity of
+// the request (adaptive coherence) or the whole region.
+func (l *l1Ctrl) overlapCoherence() bool {
+	p := l.sys.cfg.Protocol
+	return p == ProtozoaSWMR || p == ProtozoaMW
+}
+
+func (l *l1Ctrl) anyDirtyOrExclusive(region mem.RegionID) bool {
+	for _, b := range l.cache.BlocksInRegion(region) {
+		if b.State == cache.Modified || b.State == cache.Exclusive {
+			return true
+		}
+	}
+	return false
+}
+
+// carry adds a dirty block's words to a writeback reply and classifies
+// the outgoing payload bytes as used or unused.
+func (l *l1Ctrl) carry(reply *Msg, b *cache.Block) {
+	reply.Type = MsgWback
+	for w := b.R.Start; ; w++ {
+		reply.Words[w] = b.Word(w)
+		if w == b.R.End {
+			break
+		}
+	}
+	reply.Valid = reply.Valid.Union(b.R.Bitmap())
+	reply.Dirty = reply.Dirty.Union(b.R.Bitmap())
+	l.classifyWriteback(b)
+}
+
+// finishReply fixes the reply type from what was gathered and sends it
+// after the multi-block gather penalty (the CPU_B/COH_B blocking states
+// of Figure 8 cost one cycle per extra gathered block).
+func (l *l1Ctrl) finishReply(reply *Msg, processed int) {
+	if reply.Type != MsgWback {
+		if reply.StillSharer {
+			reply.Type = MsgAckS
+		} else {
+			reply.Type = MsgAck
+		}
+	}
+	if reply.Type == MsgWback {
+		l.sys.st.Writebacks++
+		l.sys.st.DataWordsOut += uint64(reply.PayloadWords())
+	}
+	delay := engine.Cycle(0)
+	if processed > 1 {
+		delay = engine.Cycle(processed - 1)
+	}
+	l.sys.eng.Schedule(delay, func() { l.sys.send(reply) })
+}
+
+// tryDirectForward implements the 3-hop fast path (Section 6): when
+// the probed L1's resident blocks fully cover the requested range, it
+// supplies the requester directly and tells the directory via the
+// reply's ForwardedData flag. Partial or no coverage returns false —
+// the transaction falls back to 4-hop and the directory supplies the
+// data from the (patched) L2.
+func (l *l1Ctrl) tryDirectForward(m *Msg, grant MsgType) bool {
+	data := &Msg{
+		Type: grant, Src: l.id, Dst: m.Requester,
+		Region: m.Region, R: m.R, Valid: m.R.Bitmap(),
+	}
+	for w := m.R.Start; ; w++ {
+		b := l.cache.Peek(m.Region, w)
+		if b == nil {
+			return false
+		}
+		data.Words[w] = b.Word(w)
+		if w == m.R.End {
+			break
+		}
+	}
+	l.sys.st.DirectForwards++
+	l.sys.send(data)
+	return true
+}
+
+// nack answers a probe when nothing of the region is resident: the
+// stale-directory-entry case after a silent clean eviction.
+func (l *l1Ctrl) nack(probe *Msg) {
+	l.sys.send(&Msg{
+		Type: MsgNack, Src: l.id, Dst: probe.Src,
+		Region: probe.Region, TxnID: probe.TxnID,
+	})
+}
+
+// handleVictims processes capacity evictions: classify each dead
+// block, train the predictor, and write back dirty victims with the
+// WBACK/WBACK_LAST distinction of Section 3.3 (clean victims drop
+// silently, leaving the directory stale until a NACK cleans it up).
+func (l *l1Ctrl) handleVictims(victims []cache.Block) {
+	for i := range victims {
+		v := &victims[i]
+		l.sys.st.Evictions++
+		l.markDeath(v, diedByEviction)
+		l.classifyDeath(v)
+		if v.State != cache.Modified {
+			// Bloom directories cannot tolerate silent drops: notify the
+			// home when the last block of a region leaves (the TL
+			// replacement-notification discipline). Precise directories
+			// keep the paper's silent-drop-then-NACK behaviour.
+			if l.sys.cfg.Directory == DirBloom && !l.cache.HasRegion(v.Region) {
+				l.sys.send(&Msg{
+					Type: MsgWbackLast, Src: l.id, Dst: l.sys.home(v.Region),
+					Region: v.Region,
+				})
+			}
+			continue
+		}
+		wb := &Msg{
+			Src: l.id, Dst: l.sys.home(v.Region),
+			Region: v.Region,
+			Valid:  v.R.Bitmap(), Dirty: v.R.Bitmap(),
+		}
+		for w := v.R.Start; ; w++ {
+			wb.Words[w] = v.Word(w)
+			if w == v.R.End {
+				break
+			}
+		}
+		wb.StillSharer = l.cache.HasRegion(v.Region)
+		wb.StillOwner = l.anyDirtyOrExclusive(v.Region)
+		if wb.StillSharer {
+			wb.Type = MsgWback
+		} else {
+			wb.Type = MsgWbackLast
+		}
+		l.sys.st.Writebacks++
+		l.sys.st.DataWordsOut += uint64(wb.PayloadWords())
+		l.classifyWriteback(v)
+		l.sys.send(wb)
+	}
+}
+
+// classifyDeath attributes a dead block's fetched words as used or
+// unused (Figure 9) and trains the predictor on the observed usage.
+func (l *l1Ctrl) classifyDeath(b *cache.Block) {
+	used := b.UsedWords()
+	l.sys.st.UsedDataBytes += uint64(used) * mem.WordBytes
+	l.sys.st.UnusedDataBytes += uint64(b.R.Words()-used) * mem.WordBytes
+	l.pred.Train(b.FetchPC, b.Region, b.FetchWord, b.Touched, b.R)
+}
+
+// classifyWriteback attributes an outgoing writeback payload's words.
+func (l *l1Ctrl) classifyWriteback(b *cache.Block) {
+	used := b.UsedWords()
+	l.sys.st.UsedDataBytes += uint64(used) * mem.WordBytes
+	l.sys.st.UnusedDataBytes += uint64(b.R.Words()-used) * mem.WordBytes
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"protozoa/internal/engine"
+	"protozoa/internal/mem"
+)
+
+// MsgEvent is one logged coherence message.
+type MsgEvent struct {
+	Cycle engine.Cycle
+	Msg   Msg // copied at send time
+}
+
+// String renders the event like the paper's transaction diagrams:
+// "GETX C0->T1 region 5 [0--3]".
+func (e MsgEvent) String() string {
+	m := &e.Msg
+	var b strings.Builder
+	fmt.Fprintf(&b, "@%-8d %-10s C%d->T%d region %d", e.Cycle, m.Type, m.Src, m.Dst, m.Region)
+	switch m.Type {
+	case MsgGetS, MsgGetX, MsgUpgrade, MsgFwdGetS, MsgFwdGetX, MsgInv,
+		MsgData, MsgDataE, MsgDataM:
+		fmt.Fprintf(&b, " [%s]", m.R)
+	}
+	if m.PayloadWords() > 0 {
+		fmt.Fprintf(&b, " %dw", m.PayloadWords())
+	}
+	if m.Type == MsgAckS || m.Type == MsgAck || m.Type == MsgNack || m.Type == MsgWback || m.Type == MsgWbackLast {
+		fmt.Fprintf(&b, " sharer=%v owner=%v", m.StillSharer, m.StillOwner)
+	}
+	if m.Direct {
+		b.WriteString(" direct")
+	}
+	if m.ForwardedData {
+		b.WriteString(" forwarded")
+	}
+	return b.String()
+}
+
+// msgLog is a bounded ring of message events.
+type msgLog struct {
+	events []MsgEvent
+	next   int
+	filled bool
+}
+
+func (l *msgLog) record(at engine.Cycle, m *Msg) {
+	ev := MsgEvent{Cycle: at, Msg: *m}
+	if len(l.events) < cap(l.events) {
+		l.events = append(l.events, ev)
+		return
+	}
+	l.events[l.next] = ev
+	l.next = (l.next + 1) % len(l.events)
+	l.filled = true
+}
+
+func (l *msgLog) snapshot() []MsgEvent {
+	if !l.filled {
+		out := make([]MsgEvent, len(l.events))
+		copy(out, l.events)
+		return out
+	}
+	out := make([]MsgEvent, 0, len(l.events))
+	out = append(out, l.events[l.next:]...)
+	out = append(out, l.events[:l.next]...)
+	return out
+}
+
+// EnableMessageLog starts recording the most recent capacity messages
+// sent on the mesh — the protocol-transcript facility used by the
+// golden flow tests and protozoa-sim's -msglog flag. Call before Run.
+func (s *System) EnableMessageLog(capacity int) {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	s.log = &msgLog{events: make([]MsgEvent, 0, capacity)}
+}
+
+// MessageLog returns the recorded messages in send order (oldest
+// first, bounded by the enabled capacity).
+func (s *System) MessageLog() []MsgEvent {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.snapshot()
+}
+
+// MessagesForRegion filters the log to one region's transcript.
+func (s *System) MessagesForRegion(r mem.RegionID) []MsgEvent {
+	var out []MsgEvent
+	for _, e := range s.MessageLog() {
+		if e.Msg.Region == r {
+			out = append(out, e)
+		}
+	}
+	return out
+}

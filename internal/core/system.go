@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+
+	"protozoa/internal/cache"
+	"protozoa/internal/engine"
+	"protozoa/internal/mem"
+	"protozoa/internal/noc"
+	"protozoa/internal/predictor"
+	"protozoa/internal/stats"
+	"protozoa/internal/trace"
+)
+
+// Config assembles a simulated machine. DefaultConfig reproduces the
+// paper's Table 4 system.
+type Config struct {
+	Protocol Protocol
+	Cores    int // one L1 + one L2/directory tile per core
+
+	// Geometry: RegionBytes is the coherence/directory granularity and
+	// the maximum block size (RMAX). The MESI baseline uses it as the
+	// fixed block size, which is how the Table 1 sweep varies 16-128 B.
+	RegionBytes int
+
+	// L1 sizing (per-set byte budget, tag overhead charged per block).
+	L1Sets, L1SetBudget, L1TagBytes int
+
+	// MergeL1Blocks enables Amoeba block coalescing: adjacent
+	// same-state fragments of a region re-join on fill.
+	MergeL1Blocks bool
+
+	// ThreeHop enables owner-to-requester direct data forwarding when a
+	// transaction has a single owner target whose blocks fully cover
+	// the request (Section 6); all other cases fall back to 4-hop.
+	ThreeHop bool
+
+	// Directory selects precise sharer vectors (the paper's default) or
+	// the Section 6 TL-style counting bloom filter. Bloom mode disables
+	// silent clean evictions (the L1 notifies the directory when the
+	// last block of a region leaves).
+	Directory    DirectoryKind
+	BloomHashes  int // 0 = DefaultBloomHashes
+	BloomBuckets int // 0 = DefaultBloomBuckets
+
+	// L2RegionsPerTile bounds each tile's L2 slice (0 = unbounded, the
+	// evaluation default — Table 4's 2 MB/tile is effectively infinite
+	// for the simulated working sets). A full slice evicts its
+	// least-recently-used region, recalling L1 copies first to keep the
+	// L2 inclusive, and writes dirty data back to memory.
+	L2RegionsPerTile int
+
+	// NonInclusiveL2 models the Section 6 "Non-Inclusive Shared Cache"
+	// design issue: the L2 drops its copy of words granted exclusively
+	// to an L1, so a later response may have to combine a remote
+	// owner's writeback with words re-fetched from memory — the
+	// multi-source assembly the paper describes. Off by default (the
+	// paper's protocols use the inclusive L2 to simplify this case).
+	NonInclusiveL2 bool
+
+	// SpatialPredictor selects the PC predictor; MESI always uses the
+	// fixed full-region predictor regardless of this setting.
+	SpatialPredictor bool
+	PredictorTable   int
+
+	// PredictorOverride, when non-nil, supplies each L1's predictor and
+	// overrides SpatialPredictor — used by directed tests and the
+	// predictor ablation study (e.g. an oracle or one-word predictor).
+	PredictorOverride func(core int) predictor.Predictor
+
+	// Latencies in core cycles (Table 4: 2-cycle L1, 14-cycle L2,
+	// 300-cycle memory).
+	L1HitLat, L2Lat, MemLat engine.Cycle
+
+	Noc noc.Config
+
+	// MaxEvents bounds the event count as a livelock watchdog;
+	// 0 disables the bound.
+	MaxEvents uint64
+}
+
+// DefaultConfig is the Table 4 16-core system for the given protocol.
+func DefaultConfig(p Protocol) Config {
+	return Config{
+		Protocol:         p,
+		Cores:            16,
+		RegionBytes:      64,
+		L1Sets:           256,
+		L1SetBudget:      288,
+		L1TagBytes:       8,
+		SpatialPredictor: p.Adaptive(),
+		PredictorTable:   predictor.DefaultTableSize,
+		L1HitLat:         2,
+		L2Lat:            14,
+		MemLat:           300,
+		Noc:              noc.DefaultConfig(),
+		MaxEvents:        0,
+	}
+}
+
+// Observer receives correctness-checking hooks; see the random tester.
+type Observer interface {
+	// OnStore fires when a store retires with write permission held.
+	OnStore(core int, addr mem.Addr, val uint64)
+	// OnLoad fires when a load's value is returned to the core.
+	OnLoad(core int, addr mem.Addr, val uint64)
+	// OnTxnEnd fires when the directory completes a transaction for the
+	// region — a quiescent point for invariant checks.
+	OnTxnEnd(region mem.RegionID)
+}
+
+// System is one assembled machine: cores, private L1s, the mesh, and
+// the tiled shared L2 with its in-cache directory.
+type System struct {
+	cfg  Config
+	geom mem.Geometry
+	eng  *engine.Engine
+	mesh *noc.Mesh
+	st   *stats.Stats
+
+	l1s  []*l1Ctrl
+	dirs []*dirSlice
+	cpus []*cpu
+
+	obs Observer
+	log *msgLog
+
+	// nextTxn issues globally unique directory transaction IDs (so
+	// transcripts are unambiguous across tiles).
+	nextTxn uint64
+
+	// transitions records the observed protocol state machine when
+	// EnableTransitionAudit was called (nil otherwise).
+	transitions map[Transition]uint64
+
+	// Timeline sampling (EnableTimeline).
+	timelineInterval engine.Cycle
+	timeline         []TimelineSample
+
+	// lastRetire is the cycle the final core finished its stream.
+	lastRetire engine.Cycle
+
+	barrierWait    []func()
+	barrierArrived int
+	coresDone      int
+	ran            bool
+}
+
+// NewSystem builds a machine executing the given per-core streams.
+// len(streams) must equal cfg.Cores, and the mesh must have exactly
+// one node per core.
+func NewSystem(cfg Config, streams []trace.Stream) (*System, error) {
+	if cfg.Cores <= 0 || cfg.Cores > 32 {
+		return nil, fmt.Errorf("core: bad core count %d (directory vectors hold up to 32)", cfg.Cores)
+	}
+	if len(streams) != cfg.Cores {
+		return nil, fmt.Errorf("core: %d streams for %d cores", len(streams), cfg.Cores)
+	}
+	if cfg.Noc.DimX*cfg.Noc.DimY != cfg.Cores {
+		return nil, fmt.Errorf("core: mesh %dx%d does not match %d cores", cfg.Noc.DimX, cfg.Noc.DimY, cfg.Cores)
+	}
+	geom, err := mem.NewGeometry(cfg.RegionBytes)
+	if err != nil {
+		return nil, err
+	}
+	st := &stats.Stats{PerCore: make([]stats.CoreStats, cfg.Cores)}
+	eng := engine.New()
+	mesh, err := noc.New(cfg.Noc, eng, st)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, geom: geom, eng: eng, mesh: mesh, st: st}
+	for i := 0; i < cfg.Cores; i++ {
+		l1cache, err := cache.New(cache.Config{
+			Sets:           cfg.L1Sets,
+			SetBudgetBytes: cfg.L1SetBudget,
+			TagBytes:       cfg.L1TagBytes,
+			Geom:           geom,
+			MergeBlocks:    cfg.MergeL1Blocks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var pred predictor.Predictor
+		switch {
+		case cfg.PredictorOverride != nil:
+			pred = cfg.PredictorOverride(i)
+		case cfg.SpatialPredictor && cfg.Protocol.Adaptive():
+			pred = predictor.NewSpatial(geom, cfg.PredictorTable)
+		default:
+			pred = predictor.Fixed{Geom: geom}
+		}
+		s.l1s = append(s.l1s, newL1(s, i, l1cache, pred))
+		s.dirs = append(s.dirs, newDirSlice(s, i))
+		s.cpus = append(s.cpus, &cpu{id: i, stream: streams[i]})
+	}
+	return s, nil
+}
+
+// SetObserver installs correctness hooks; pass nil to remove.
+func (s *System) SetObserver(o Observer) { s.obs = o }
+
+// Stats exposes the run's counters.
+func (s *System) Stats() *stats.Stats { return s.st }
+
+// Engine exposes the event engine (tests and the random tester).
+func (s *System) Engine() *engine.Engine { return s.eng }
+
+// Protocol reports the configured protocol.
+func (s *System) Protocol() Protocol { return s.cfg.Protocol }
+
+// Geometry reports the region geometry.
+func (s *System) Geometry() mem.Geometry { return s.geom }
+
+// home returns the tile whose L2 slice and directory own the region
+// (low-order interleaving across tiles, as in tiled CMPs).
+func (s *System) home(r mem.RegionID) int {
+	return int(uint64(r) % uint64(s.cfg.Cores))
+}
+
+// send puts a message on the mesh and accounts its control bytes.
+// Data payload bytes are classified used/unused at block-death and
+// writeback time by the L1s, so they are not accounted here.
+func (s *System) send(m *Msg) {
+	s.st.AddControl(m.Class(), CtrlBytes)
+	if s.log != nil {
+		s.log.record(s.eng.Now(), m)
+	}
+	bytes := m.Bytes()
+	dst := m.Dst
+	s.mesh.Send(m.Src, dst, m.VNet(), bytes, func() { s.deliver(m) })
+}
+
+func (s *System) deliver(m *Msg) {
+	switch m.Type {
+	case MsgGetS, MsgGetX, MsgUpgrade:
+		s.dirs[m.Dst].recvRequest(m)
+	case MsgAck, MsgAckS, MsgNack, MsgWback, MsgWbackLast, MsgUnblock:
+		s.dirs[m.Dst].recvResponse(m)
+	default:
+		s.l1s[m.Dst].recv(m)
+	}
+}
+
+// Run executes the machine to completion. It returns an error when
+// the event queue drains with stalled cores (a protocol deadlock) or
+// the watchdog fires.
+func (s *System) Run() error {
+	if s.ran {
+		return fmt.Errorf("core: system already ran")
+	}
+	s.ran = true
+	for _, c := range s.cpus {
+		c := c
+		s.eng.Schedule(0, func() { s.step(c) })
+	}
+	if s.timelineInterval > 0 {
+		s.eng.Schedule(s.timelineInterval, s.sampleTimeline)
+	}
+	drained := s.eng.Run(s.cfg.MaxEvents)
+	if !drained {
+		return fmt.Errorf("core: watchdog fired after %d events (livelock?)\n%s",
+			s.eng.Processed(), s.diagnose())
+	}
+	if s.coresDone != s.cfg.Cores {
+		return fmt.Errorf("core: deadlock: %d/%d cores finished, %d at barrier\n%s",
+			s.coresDone, s.cfg.Cores, s.barrierArrived, s.diagnose())
+	}
+	s.st.ExecCycles = uint64(s.lastRetire)
+	s.flushResidual()
+	return nil
+}
+
+// flushResidual classifies data still resident at the end of the run so
+// every fetched word is counted exactly once as used or unused.
+func (s *System) flushResidual() {
+	for _, l1 := range s.l1s {
+		l1.cache.Blocks(func(b *cache.Block) {
+			l1.classifyDeath(b)
+		})
+	}
+}
+
+// ForEachCachedWord walks every word resident in any L1 — the hook the
+// SWMR invariant checker uses.
+func (s *System) ForEachCachedWord(fn func(core int, region mem.RegionID, w uint8, st cache.State, val uint64)) {
+	for _, l1 := range s.l1s {
+		core := l1.id
+		l1.cache.Blocks(func(b *cache.Block) {
+			for w := b.R.Start; ; w++ {
+				fn(core, b.Region, w, b.State, b.Word(w))
+				if w == b.R.End {
+					break
+				}
+			}
+		})
+	}
+}
+
+// L2Word returns the shared L2's value for a word, and whether the
+// region has been allocated at the L2 at all.
+func (s *System) L2Word(region mem.RegionID, w uint8) (uint64, bool) {
+	d := s.dirs[s.home(region)]
+	e, ok := d.entries[region]
+	if !ok {
+		return 0, false
+	}
+	return e.data[w], true
+}
+
+// DirBusy reports whether the region has an active directory
+// transaction (checker support: invariants are only guaranteed at
+// quiescent points).
+func (s *System) DirBusy(region mem.RegionID) bool {
+	d := s.dirs[s.home(region)]
+	e, ok := d.entries[region]
+	return ok && e.busy
+}

@@ -1,0 +1,73 @@
+// Package directory provides the sharer-tracking primitives of the
+// in-cache coherence directory. As in the paper, sharers are tracked
+// at REGION granularity with a precise P-bit vector (16 bits for the
+// 16-core configuration). Protozoa-MW doubles the entry by keeping a
+// second vector that distinguishes writers (owners) from readers;
+// Protozoa-SW+MR needs only the single-writer identity.
+package directory
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeSet is a bit vector of up to 32 node IDs.
+type NodeSet uint32
+
+// MaxNodes is the largest node ID a NodeSet can hold plus one.
+const MaxNodes = 32
+
+// Add returns the set with node i added.
+func (s NodeSet) Add(i int) NodeSet { return s | 1<<uint(i) }
+
+// Remove returns the set with node i removed.
+func (s NodeSet) Remove(i int) NodeSet { return s &^ (1 << uint(i)) }
+
+// Has reports whether node i is in the set.
+func (s NodeSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Empty reports whether the set has no members.
+func (s NodeSet) Empty() bool { return s == 0 }
+
+// Count returns the number of members.
+func (s NodeSet) Count() int {
+	n := 0
+	for v := s; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Only reports whether the set contains exactly node i.
+func (s NodeSet) Only(i int) bool { return s == 1<<uint(i) }
+
+// Without returns the set minus every member of o.
+func (s NodeSet) Without(o NodeSet) NodeSet { return s &^ o }
+
+// Union returns the union of two sets.
+func (s NodeSet) Union(o NodeSet) NodeSet { return s | o }
+
+// ForEach calls fn for every member in ascending node order.
+func (s NodeSet) ForEach(fn func(i int)) {
+	for i := 0; i < MaxNodes; i++ {
+		if s.Has(i) {
+			fn(i)
+		}
+	}
+}
+
+// String renders the set like "{0,3,7}".
+func (s NodeSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddRemoveHas(t *testing.T) {
+	var s NodeSet
+	s = s.Add(3).Add(15).Add(0)
+	if !s.Has(3) || !s.Has(15) || !s.Has(0) || s.Has(1) {
+		t.Error("Add/Has wrong")
+	}
+	s = s.Remove(3)
+	if s.Has(3) || s.Count() != 2 {
+		t.Error("Remove wrong")
+	}
+	s = s.Remove(3) // idempotent
+	if s.Count() != 2 {
+		t.Error("double Remove changed the set")
+	}
+}
+
+func TestEmptyAndOnly(t *testing.T) {
+	var s NodeSet
+	if !s.Empty() {
+		t.Error("zero set not empty")
+	}
+	s = s.Add(5)
+	if s.Empty() || !s.Only(5) || s.Only(4) {
+		t.Error("Only wrong")
+	}
+	s = s.Add(6)
+	if s.Only(5) {
+		t.Error("Only true with two members")
+	}
+}
+
+func TestWithoutAndUnion(t *testing.T) {
+	a := NodeSet(0).Add(1).Add(2).Add(3)
+	b := NodeSet(0).Add(2).Add(4)
+	if got := a.Without(b); got.Has(2) || !got.Has(1) || !got.Has(3) {
+		t.Errorf("Without = %v", got)
+	}
+	if got := a.Union(b); got.Count() != 4 {
+		t.Errorf("Union count = %d, want 4", got.Count())
+	}
+}
+
+func TestForEachAscending(t *testing.T) {
+	s := NodeSet(0).Add(7).Add(1).Add(31)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{1, 7, 31}
+	if len(got) != 3 {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (NodeSet(0).Add(0).Add(3)).String(); got != "{0,3}" {
+		t.Errorf("String = %q, want {0,3}", got)
+	}
+	if got := NodeSet(0).String(); got != "{}" {
+		t.Errorf("String = %q, want {}", got)
+	}
+}
+
+func TestQuickCountMatchesMembership(t *testing.T) {
+	f := func(v uint32) bool {
+		s := NodeSet(v)
+		n := 0
+		for i := 0; i < MaxNodes; i++ {
+			if s.Has(i) {
+				n++
+			}
+		}
+		return n == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddRemoveInverse(t *testing.T) {
+	f := func(v uint32, i uint8) bool {
+		node := int(i) % MaxNodes
+		s := NodeSet(v)
+		return s.Add(node).Remove(node) == s.Remove(node)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

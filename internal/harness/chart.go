@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"protozoa/internal/core"
+)
+
+// bar renders a horizontal bar proportional to v/max using eighth
+// block characters, so adjacent protocol bars are comparable at a
+// glance in a terminal.
+func bar(v, max float64, width int) string {
+	if max <= 0 || v < 0 {
+		return ""
+	}
+	eighths := int(v/max*float64(width)*8 + 0.5)
+	if eighths > width*8 {
+		eighths = width * 8
+	}
+	full := eighths / 8
+	rem := eighths % 8
+	partials := []string{"", "▏", "▎", "▍", "▌", "▋", "▊", "▉"}
+	return strings.Repeat("█", full) + partials[rem]
+}
+
+// chart renders one bar-chart block: per workload, one bar per
+// protocol of metric(stats), normalized to the row group's maximum.
+func (m *Matrix) chart(title, unit string, metric func(w string, p core.Protocol) float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	const width = 40
+	for _, w := range m.Workloads {
+		max := 0.0
+		for _, p := range m.Protocols {
+			if v := metric(w, p); v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(&b, "%s\n", w)
+		for _, p := range m.Protocols {
+			v := metric(w, p)
+			fmt.Fprintf(&b, "  %-6s %10.2f %s %s\n", protoShort(p), v, unit, bar(v, max, width))
+		}
+	}
+	return b.String()
+}
+
+// ChartMPKI renders Figure 13 as terminal bars.
+func (m *Matrix) ChartMPKI() string {
+	return m.chart("Figure 13 (chart): miss rate", "MPKI", func(w string, p core.Protocol) float64 {
+		return m.Get(w, p).MPKI()
+	})
+}
+
+// ChartTraffic renders Figure 9's totals as terminal bars.
+func (m *Matrix) ChartTraffic() string {
+	return m.chart("Figure 9 (chart): total L1 traffic", "KB", func(w string, p core.Protocol) float64 {
+		return float64(m.Get(w, p).TrafficTotal()) / 1024
+	})
+}
+
+// ChartFlitHops renders Figure 15 as terminal bars.
+func (m *Matrix) ChartFlitHops() string {
+	return m.chart("Figure 15 (chart): flit-hops", "hops", func(w string, p core.Protocol) float64 {
+		return float64(m.Get(w, p).FlitHops)
+	})
+}

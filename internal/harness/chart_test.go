@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarScaling(t *testing.T) {
+	if bar(0, 100, 10) != "" {
+		t.Errorf("zero bar = %q", bar(0, 100, 10))
+	}
+	full := bar(100, 100, 10)
+	if strings.Count(full, "█") != 10 {
+		t.Errorf("full bar = %q", full)
+	}
+	half := bar(50, 100, 10)
+	if strings.Count(half, "█") != 5 {
+		t.Errorf("half bar = %q", half)
+	}
+	// Overflow clamps; degenerate max yields empty.
+	if strings.Count(bar(200, 100, 10), "█") != 10 {
+		t.Error("overflow bar not clamped")
+	}
+	if bar(5, 0, 10) != "" {
+		t.Error("zero max not empty")
+	}
+}
+
+func TestBarMonotonic(t *testing.T) {
+	prev := -1
+	for v := 0; v <= 100; v += 5 {
+		n := len(bar(float64(v), 100, 20))
+		if n < prev {
+			t.Fatalf("bar length decreased at %d", v)
+		}
+		prev = n
+	}
+}
+
+func TestChartsRender(t *testing.T) {
+	m := collect(t, "swaptions", "histogram")
+	for name, out := range map[string]string{
+		"mpki":    m.ChartMPKI(),
+		"traffic": m.ChartTraffic(),
+		"flits":   m.ChartFlitHops(),
+	} {
+		if !strings.Contains(out, "histogram") || !strings.Contains(out, "MESI") {
+			t.Errorf("%s chart incomplete:\n%s", name, out)
+		}
+		if !strings.Contains(out, "█") {
+			t.Errorf("%s chart has no bars", name)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"protozoa/internal/core"
+	"protozoa/internal/stats"
+)
+
+// ExportCSV writes the matrix in long format — one row per (workload,
+// protocol, metric) — for external plotting tools. The metrics cover
+// every figure: traffic components, control classes, MPKI, misses,
+// invalidations, flit-hops, execution cycles, block-size buckets, and
+// the directory owner mix.
+func (m *Matrix) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "protocol", "metric", "value"}); err != nil {
+		return err
+	}
+	emit := func(wl string, p core.Protocol, metric string, v float64) {
+		cw.Write([]string{wl, p.String(), metric, strconv.FormatFloat(v, 'g', -1, 64)})
+	}
+	for _, wl := range m.Workloads {
+		for _, p := range m.Protocols {
+			s := m.Get(wl, p)
+			emit(wl, p, "used_bytes", float64(s.UsedDataBytes))
+			emit(wl, p, "unused_bytes", float64(s.UnusedDataBytes))
+			emit(wl, p, "control_bytes", float64(s.ControlTotal()))
+			for c := 0; c < stats.NumClasses; c++ {
+				emit(wl, p, "control_"+stats.Class(c).String(), float64(s.ControlBytes[c]))
+			}
+			emit(wl, p, "mpki", s.MPKI())
+			emit(wl, p, "misses", float64(s.L1Misses))
+			emit(wl, p, "misses_cold", float64(s.MissesCold))
+			emit(wl, p, "misses_capacity", float64(s.MissesCapacity))
+			emit(wl, p, "misses_coherence", float64(s.MissesCoherence))
+			emit(wl, p, "misses_granularity", float64(s.MissesGranularity))
+			emit(wl, p, "invalidations", float64(s.Invalidations))
+			emit(wl, p, "flit_hops", float64(s.FlitHops))
+			emit(wl, p, "exec_cycles", float64(s.ExecCycles))
+			d := s.BlockDistBuckets()
+			for i, label := range []string{"1_2w", "3_4w", "5_6w", "7_8w"} {
+				emit(wl, p, "blocks_"+label, d[i])
+			}
+			one, plus, multi := s.OwnerMix()
+			emit(wl, p, "owner_one", one)
+			emit(wl, p, "owner_plus_sharers", plus)
+			emit(wl, p, "owner_multi", multi)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportCSV writes the Table 1 sweep in long format: one row per
+// (workload, block size, metric).
+func (r *Table1Result) ExportCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "block_bytes", "metric", "value"}); err != nil {
+		return err
+	}
+	for _, wl := range r.Workloads {
+		for _, bs := range BlockSizes {
+			c := r.Cells[wl][bs]
+			b := fmt.Sprintf("%d", bs)
+			cw.Write([]string{wl, b, "mpki", strconv.FormatFloat(c.MPKI, 'g', -1, 64)})
+			cw.Write([]string{wl, b, "invalidations", strconv.FormatUint(c.Inv, 10)})
+			cw.Write([]string{wl, b, "used_pct", strconv.FormatFloat(c.UsedPct, 'g', -1, 64)})
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

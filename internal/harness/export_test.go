@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestMatrixExportCSV(t *testing.T) {
+	m := collect(t, "swaptions")
+	var b strings.Builder
+	if err := m.ExportCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatal("no data rows")
+	}
+	header := strings.Join(rows[0], ",")
+	if header != "workload,protocol,metric,value" {
+		t.Errorf("header = %q", header)
+	}
+	// 4 protocols x at least 15 metrics for the single workload.
+	if len(rows)-1 < 4*15 {
+		t.Errorf("rows = %d, want >= 60", len(rows)-1)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows[1:] {
+		if len(r) != 4 {
+			t.Fatalf("bad row %v", r)
+		}
+		if r[0] != "swaptions" {
+			t.Fatalf("unexpected workload %q", r[0])
+		}
+		seen[r[2]] = true
+	}
+	for _, metric := range []string{"used_bytes", "mpki", "flit_hops", "control_NACK", "blocks_7_8w"} {
+		if !seen[metric] {
+			t.Errorf("metric %q missing", metric)
+		}
+	}
+}
+
+func TestTable1ExportCSV(t *testing.T) {
+	o := fast
+	o.Workloads = []string{"word-count"}
+	res, err := CollectTable1(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.ExportCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 4 block sizes x 3 metrics.
+	if len(rows) != 1+4*3 {
+		t.Errorf("rows = %d, want 13", len(rows))
+	}
+}

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"protozoa/internal/core"
+	"protozoa/internal/stats"
+)
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// shortName compresses workload names to the paper's column labels.
+func shortName(w string) string {
+	if len(w) > 8 {
+		return w[:7] + "."
+	}
+	return w
+}
+
+func protoShort(p core.Protocol) string {
+	switch p {
+	case core.MESI:
+		return "MESI"
+	case core.ProtozoaSW:
+		return "SW"
+	case core.ProtozoaSWMR:
+		return "SW+MR"
+	case core.ProtozoaMW:
+		return "MW"
+	}
+	return p.String()
+}
+
+// Fig9Traffic renders the Figure 9 breakdown: bytes sent/received at
+// the L1s split into Used DATA, Unused DATA, and Control, four bars
+// per workload, normalized to the MESI total.
+func (m *Matrix) Fig9Traffic() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: L1 traffic breakdown (%% of MESI total traffic)\n")
+	fmt.Fprintf(&b, "%-9s %-6s %8s %8s %8s %8s\n", "app", "proto", "used", "unused", "ctrl", "total")
+	for _, w := range m.Workloads {
+		base := float64(m.Get(w, core.MESI).TrafficTotal())
+		if base == 0 {
+			base = 1
+		}
+		for _, p := range m.Protocols {
+			s := m.Get(w, p)
+			pc := func(v uint64) float64 { return 100 * float64(v) / base }
+			fmt.Fprintf(&b, "%-9s %-6s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+				shortName(w), protoShort(p),
+				pc(s.UsedDataBytes), pc(s.UnusedDataBytes), pc(s.ControlTotal()), pc(s.TrafficTotal()))
+		}
+	}
+	for _, p := range []core.Protocol{core.ProtozoaSW, core.ProtozoaSWMR, core.ProtozoaMW} {
+		r := m.GeoMeanRatio(p, TrafficBytes)
+		fmt.Fprintf(&b, "geomean traffic %-14s: %5.1f%% of MESI (%.0f%% reduction)\n",
+			protoShort(p), 100*r, 100*(1-r))
+	}
+	return b.String()
+}
+
+// Fig10Control renders the Figure 10 control-message breakdown by
+// class, normalized to the MESI total traffic of each workload.
+func (m *Matrix) Fig10Control() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: control bytes by class (%% of MESI total traffic)\n")
+	fmt.Fprintf(&b, "%-9s %-6s", "app", "proto")
+	for c := 0; c < stats.NumClasses; c++ {
+		fmt.Fprintf(&b, " %7s", stats.Class(c))
+	}
+	fmt.Fprintf(&b, " %7s\n", "sum")
+	for _, w := range m.Workloads {
+		base := float64(m.Get(w, core.MESI).TrafficTotal())
+		if base == 0 {
+			base = 1
+		}
+		for _, p := range m.Protocols {
+			s := m.Get(w, p)
+			fmt.Fprintf(&b, "%-9s %-6s", shortName(w), protoShort(p))
+			for c := 0; c < stats.NumClasses; c++ {
+				fmt.Fprintf(&b, " %6.2f%%", 100*float64(s.ControlBytes[c])/base)
+			}
+			fmt.Fprintf(&b, " %6.2f%%\n", 100*float64(s.ControlTotal())/base)
+		}
+	}
+	return b.String()
+}
+
+// Fig11Owners renders the Figure 11 directory owner-state occupancy
+// under Protozoa-MW.
+func (m *Matrix) Fig11Owners() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: directory O-state access mix under Protozoa-MW\n")
+	fmt.Fprintf(&b, "%-18s %12s %16s %10s\n", "app", "1owner-only", "1owner+sharers", ">1owner")
+	for _, w := range m.Workloads {
+		a, s, mu := m.Get(w, core.ProtozoaMW).OwnerMix()
+		fmt.Fprintf(&b, "%-18s %11.1f%% %15.1f%% %9.1f%%\n", w, a, s, mu)
+	}
+	return b.String()
+}
+
+// Fig12BlockDist renders the Figure 12 block-granularity distribution
+// of L1 fills under Protozoa-MW.
+func (m *Matrix) Fig12BlockDist() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: L1 block size distribution under Protozoa-MW\n")
+	fmt.Fprintf(&b, "%-18s %9s %9s %9s %9s\n", "app", "1-2w", "3-4w", "5-6w", "7-8w")
+	for _, w := range m.Workloads {
+		d := m.Get(w, core.ProtozoaMW).BlockDistBuckets()
+		fmt.Fprintf(&b, "%-18s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n", w, d[0], d[1], d[2], d[3])
+	}
+	return b.String()
+}
+
+// FigMissClass renders the miss-classification breakdown (a beyond-
+// the-paper analysis figure): the fraction of each protocol's misses
+// that are cold, capacity, coherence, and granularity. It makes the
+// mechanism of every headline result visible — Protozoa-MW removes
+// the coherence column on false-sharing apps, Protozoa-SW trades
+// capacity misses for granularity misses on sparse apps.
+func (m *Matrix) FigMissClass() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Miss classification (%% of each cell's misses)\n")
+	fmt.Fprintf(&b, "%-9s %-6s %8s %9s %10s %12s\n", "app", "proto", "cold", "capacity", "coherence", "granularity")
+	for _, w := range m.Workloads {
+		for _, p := range m.Protocols {
+			s := m.Get(w, p)
+			total := float64(s.L1Misses)
+			if total == 0 {
+				total = 1
+			}
+			pc := func(v uint64) float64 { return 100 * float64(v) / total }
+			fmt.Fprintf(&b, "%-9s %-6s %7.1f%% %8.1f%% %9.1f%% %11.1f%%\n",
+				shortName(w), protoShort(p),
+				pc(s.MissesCold), pc(s.MissesCapacity), pc(s.MissesCoherence), pc(s.MissesGranularity))
+		}
+	}
+	return b.String()
+}
+
+// Fig13MPKI renders the Figure 13 miss-rate comparison.
+func (m *Matrix) Fig13MPKI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: miss rate (MPKI)\n")
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s %8s\n", "app", "MESI", "SW", "SW+MR", "MW")
+	for _, w := range m.Workloads {
+		fmt.Fprintf(&b, "%-18s", w)
+		for _, p := range m.Protocols {
+			fmt.Fprintf(&b, " %8.2f", m.Get(w, p).MPKI())
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	for _, p := range []core.Protocol{core.ProtozoaSW, core.ProtozoaSWMR, core.ProtozoaMW} {
+		r := m.GeoMeanRatio(p, func(s *stats.Stats) float64 { return float64(s.L1Misses) })
+		fmt.Fprintf(&b, "geomean misses %-14s: %5.1f%% of MESI (%.0f%% reduction)\n",
+			protoShort(p), 100*r, 100*(1-r))
+	}
+	return b.String()
+}
+
+// Fig14Exec renders the Figure 14 execution-time comparison,
+// normalized to MESI; like the paper, it flags workloads whose
+// change exceeds 3%.
+func (m *Matrix) Fig14Exec() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14: execution time relative to MESI\n")
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s %9s\n", "app", "SW", "SW+MR", "MW", ">3%-chg")
+	for _, w := range m.Workloads {
+		base := float64(m.Get(w, core.MESI).ExecCycles)
+		if base == 0 {
+			base = 1
+		}
+		vals := make([]float64, 0, 3)
+		fmt.Fprintf(&b, "%-18s", w)
+		for _, p := range []core.Protocol{core.ProtozoaSW, core.ProtozoaSWMR, core.ProtozoaMW} {
+			r := float64(m.Get(w, p).ExecCycles) / base
+			vals = append(vals, r)
+			fmt.Fprintf(&b, " %8.3f", r)
+		}
+		flag := ""
+		for _, v := range vals {
+			if v < 0.97 || v > 1.03 {
+				flag = "*"
+			}
+		}
+		fmt.Fprintf(&b, " %9s\n", flag)
+	}
+	r := m.GeoMeanRatio(core.ProtozoaMW, ExecCycles)
+	fmt.Fprintf(&b, "geomean exec time MW: %.3f of MESI\n", r)
+	return b.String()
+}
+
+// Fig15FlitHops renders the Figure 15 interconnect dynamic energy
+// proxy: flit-hops normalized to MESI.
+func (m *Matrix) Fig15FlitHops() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 15: interconnect traffic (flit-hops) relative to MESI\n")
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s\n", "app", "SW", "SW+MR", "MW")
+	for _, w := range m.Workloads {
+		base := float64(m.Get(w, core.MESI).FlitHops)
+		if base == 0 {
+			base = 1
+		}
+		fmt.Fprintf(&b, "%-18s", w)
+		for _, p := range []core.Protocol{core.ProtozoaSW, core.ProtozoaSWMR, core.ProtozoaMW} {
+			fmt.Fprintf(&b, " %8.3f", float64(m.Get(w, p).FlitHops)/base)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	for _, p := range []core.Protocol{core.ProtozoaSW, core.ProtozoaSWMR, core.ProtozoaMW} {
+		r := m.GeoMeanRatio(p, FlitHops)
+		fmt.Fprintf(&b, "geomean flit-hops %-14s: %5.1f%% of MESI (%.0f%% reduction)\n",
+			protoShort(p), 100*r, 100*(1-r))
+	}
+	return b.String()
+}

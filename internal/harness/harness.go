@@ -1,0 +1,151 @@
+// Package harness regenerates the paper's evaluation: Table 1 (MESI
+// behaviour across fixed block sizes) and Figures 9-15 (traffic
+// breakdown, control breakdown, directory owner occupancy, block-size
+// distribution, miss rates, execution time, and interconnect energy).
+// Each experiment runs the full simulator over the synthetic workload
+// suite and renders the same rows/series the paper reports as text
+// tables.
+package harness
+
+import (
+	"fmt"
+
+	"protozoa/internal/core"
+	"protozoa/internal/stats"
+	"protozoa/internal/workloads"
+)
+
+// Options sizes an experiment run.
+type Options struct {
+	Cores     int      // simulated cores (paper: 16)
+	Scale     int      // workload iteration multiplier
+	Workloads []string // nil = the full suite
+	MaxEvents uint64   // watchdog; 0 = derived from workload size
+	TraceSeed uint64   // trace-randomization seed (0 = canonical streams)
+}
+
+// DefaultOptions is the paper's 16-core configuration at a scale that
+// finishes the full matrix in tens of seconds.
+func DefaultOptions() Options {
+	return Options{Cores: 16, Scale: 2}
+}
+
+func (o Options) workloadList() []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return workloads.Names()
+}
+
+// Run simulates one workload under one protocol and returns its stats.
+func Run(workload string, p core.Protocol, o Options) (*stats.Stats, error) {
+	spec, err := workloads.Get(workload)
+	if err != nil {
+		return nil, err
+	}
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	cfg := core.DefaultConfig(p)
+	cfg.Cores = o.Cores
+	cfg.MaxEvents = o.MaxEvents
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 200_000_000
+	}
+	switch o.Cores {
+	case 16:
+		// default 4x4 mesh
+	case 4:
+		cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
+	case 2:
+		cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
+	case 1:
+		cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
+	default:
+		return nil, fmt.Errorf("harness: unsupported core count %d", o.Cores)
+	}
+	sys, err := core.NewSystem(cfg, spec.StreamsSeeded(o.Cores, o.Scale, o.TraceSeed))
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Run(); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s: %w", workload, p, err)
+	}
+	return sys.Stats(), nil
+}
+
+// Matrix holds the stats of every (workload, protocol) pair so all the
+// per-protocol figures derive from one set of runs.
+type Matrix struct {
+	Workloads []string
+	Protocols []core.Protocol
+	Cells     map[string]map[core.Protocol]*stats.Stats
+}
+
+// Collect runs the full workload x protocol matrix.
+func Collect(o Options) (*Matrix, error) {
+	m := &Matrix{
+		Workloads: o.workloadList(),
+		Protocols: core.AllProtocols,
+		Cells:     make(map[string]map[core.Protocol]*stats.Stats),
+	}
+	for _, w := range m.Workloads {
+		m.Cells[w] = make(map[core.Protocol]*stats.Stats)
+		for _, p := range m.Protocols {
+			st, err := Run(w, p, o)
+			if err != nil {
+				return nil, err
+			}
+			m.Cells[w][p] = st
+		}
+	}
+	return m, nil
+}
+
+// Get returns the stats cell for a pair.
+func (m *Matrix) Get(w string, p core.Protocol) *stats.Stats { return m.Cells[w][p] }
+
+// geoMean computes the geometric mean of positive ratios; zero or
+// negative inputs are skipped.
+func geoMean(vals []float64) float64 {
+	prod, n := 1.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	// n-th root via successive halving is overkill; use math.Pow.
+	return pow(prod, 1.0/float64(n))
+}
+
+// GeoMeanRatio computes the geometric mean across workloads of
+// metric(p)/metric(MESI).
+func (m *Matrix) GeoMeanRatio(p core.Protocol, metric func(*stats.Stats) float64) float64 {
+	var ratios []float64
+	for _, w := range m.Workloads {
+		base := metric(m.Get(w, core.MESI))
+		v := metric(m.Get(w, p))
+		if base > 0 {
+			ratios = append(ratios, v/base)
+		}
+	}
+	return geoMean(ratios)
+}
+
+// Metric helpers shared by figures and benches.
+
+// TrafficBytes is total L1 traffic (Figure 9's denominator).
+func TrafficBytes(s *stats.Stats) float64 { return float64(s.TrafficTotal()) }
+
+// MPKI is misses per kilo-instruction (Figure 13).
+func MPKI(s *stats.Stats) float64 { return s.MPKI() }
+
+// ExecCycles is runtime (Figure 14).
+func ExecCycles(s *stats.Stats) float64 { return float64(s.ExecCycles) }
+
+// FlitHops is the interconnect energy proxy (Figure 15).
+func FlitHops(s *stats.Stats) float64 { return float64(s.FlitHops) }

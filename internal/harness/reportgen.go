@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"protozoa/internal/core"
+	"protozoa/internal/mem"
+	"protozoa/internal/profile"
+	"protozoa/internal/stats"
+	"protozoa/internal/trace"
+	"protozoa/internal/workloads"
+)
+
+// GenerateReport reproduces the paper's full evaluation in one pass
+// and writes it as a self-contained markdown document: the Section 2
+// motivation profile, Table 1, Figures 9-15, the headline geomeans,
+// and a random-tester verification of every protocol. This is the
+// one-command reproduction artifact behind cmd/protozoa-report.
+func GenerateReport(o Options, w io.Writer) error {
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	fmt.Fprintf(w, "# Protozoa reproduction report\n\n")
+	fmt.Fprintf(w, "Configuration: %d cores, workload scale %d, %d workloads.\n\n",
+		o.Cores, o.Scale, len(o.workloadList()))
+
+	// Correctness first: the Section 3.6 random tester.
+	fmt.Fprintf(w, "## Protocol verification (random tester)\n\n```\n")
+	for _, p := range core.AllProtocols {
+		loads, checks, err := verifyProtocol(p, o.Cores)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-15s %7d loads checked, %7d quiescent scans: OK\n", p, loads, checks)
+	}
+	fmt.Fprintf(w, "```\n\n")
+
+	// Section 2 motivation.
+	fmt.Fprintf(w, "## Section 2: sharing and locality profile\n\n```\n")
+	fmt.Fprintf(w, "%-18s %9s %10s %13s %12s %10s\n",
+		"workload", "private", "read-only", "false-shared", "true-shared", "footprint")
+	for _, name := range o.workloadList() {
+		spec, err := workloads.Get(name)
+		if err != nil {
+			return err
+		}
+		r := profile.Analyze(spec.Streams(o.Cores, o.Scale), mem.DefaultGeometry)
+		fmt.Fprintf(w, "%-18s %8.1f%% %9.1f%% %12.1f%% %11.1f%% %9.0f%%\n",
+			name, r.ClassPct(profile.Private), r.ClassPct(profile.ReadOnlyShared),
+			r.ClassPct(profile.FalseShared), r.ClassPct(profile.TrueShared), r.FootprintPct())
+	}
+	fmt.Fprintf(w, "```\n\n")
+
+	// Table 1.
+	t1, err := CollectTable1(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Table 1: MESI vs fixed block size\n\n```\n%s```\n\n", t1.Render())
+
+	// The protocol matrix and every figure.
+	m, err := Collect(o)
+	if err != nil {
+		return err
+	}
+	figs := []struct {
+		title  string
+		render func() string
+	}{
+		{"Figure 9: traffic breakdown", m.Fig9Traffic},
+		{"Figure 10: control breakdown", m.Fig10Control},
+		{"Figure 11: directory owner mix", m.Fig11Owners},
+		{"Figure 12: block-size distribution", m.Fig12BlockDist},
+		{"Figure 13: miss rate", m.Fig13MPKI},
+		{"Figure 14: execution time", m.Fig14Exec},
+		{"Figure 15: interconnect energy", m.Fig15FlitHops},
+		{"Miss classification (beyond the paper)", m.FigMissClass},
+	}
+	for _, f := range figs {
+		fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", f.title, f.render())
+	}
+
+	// Headline summary.
+	fmt.Fprintf(w, "## Headline geomeans vs MESI\n\n")
+	fmt.Fprintf(w, "| metric | SW | SW+MR | MW |\n|---|---|---|---|\n")
+	row := func(name string, metric func(*stats.Stats) float64) {
+		fmt.Fprintf(w, "| %s |", name)
+		for _, p := range []core.Protocol{core.ProtozoaSW, core.ProtozoaSWMR, core.ProtozoaMW} {
+			fmt.Fprintf(w, " %+.0f%% |", 100*(m.GeoMeanRatio(p, metric)-1))
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	row("traffic", TrafficBytes)
+	row("misses", func(s *stats.Stats) float64 { return float64(s.L1Misses) })
+	row("flit-hops", FlitHops)
+	row("execution time", ExecCycles)
+	return nil
+}
+
+// verifyProtocol runs a seeded random stress with the checker attached
+// and returns the validated load and scan counts.
+func verifyProtocol(p core.Protocol, cores int) (loads, checks int, err error) {
+	cfg := core.DefaultConfig(p)
+	cfg.Cores = cores
+	switch cores {
+	case 16:
+	case 4:
+		cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
+	case 2:
+		cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
+	case 1:
+		cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
+	default:
+		return 0, 0, fmt.Errorf("harness: unsupported core count %d", cores)
+	}
+	streams := make([]trace.Stream, cores)
+	for c := 0; c < cores; c++ {
+		rng := trace.NewRNG(uint64(4242 + c))
+		recs := make([]trace.Access, 0, 1000)
+		for i := 0; i < 1000; i++ {
+			kind := trace.Load
+			switch r := rng.Intn(100); {
+			case r < 30:
+				kind = trace.Store
+			case r < 40:
+				kind = trace.RMW
+			}
+			recs = append(recs, trace.Access{
+				Kind: kind,
+				Addr: mem.Addr(rng.Intn(12)*64 + rng.Intn(8)*8),
+				PC:   uint64(0x400 + rng.Intn(8)*4),
+			})
+		}
+		streams[c] = trace.NewSliceStream(recs)
+	}
+	sys, err := core.NewSystem(cfg, streams)
+	if err != nil {
+		return 0, 0, err
+	}
+	chk := core.NewChecker(sys)
+	if err := sys.Run(); err != nil {
+		return 0, 0, err
+	}
+	if err := chk.Err(); err != nil {
+		return 0, 0, err
+	}
+	return chk.Loads, chk.Checks, nil
+}

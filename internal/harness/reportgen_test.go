@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateReport(t *testing.T) {
+	var b strings.Builder
+	o := Options{Cores: 4, Scale: 1, Workloads: []string{"swaptions", "histogram"}}
+	if err := GenerateReport(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Protozoa reproduction report",
+		"Protocol verification",
+		"quiescent scans: OK",
+		"Section 2: sharing and locality profile",
+		"Table 1: MESI vs fixed block size",
+		"Figure 9: traffic breakdown",
+		"Figure 15: interconnect energy",
+		"Headline geomeans vs MESI",
+		"histogram",
+		"swaptions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Every protocol verified.
+	for _, p := range []string{"MESI", "Protozoa-SW", "Protozoa-SW+MR", "Protozoa-MW"} {
+		if !strings.Contains(out, p) {
+			t.Errorf("report missing protocol %s", p)
+		}
+	}
+}
+
+func TestVerifyProtocolRejectsBadCores(t *testing.T) {
+	if _, _, err := verifyProtocol(0, 7); err == nil {
+		t.Error("bad core count accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package harness
+
+// Robustness across trace randomizations: the headline shapes must not
+// depend on the canonical seed. Each seed yields a different concrete
+// access sequence with the same sharing/locality signature.
+
+import (
+	"testing"
+
+	"protozoa/internal/core"
+	"protozoa/internal/workloads"
+)
+
+func TestSeededStreamsDiffer(t *testing.T) {
+	spec := workloads.MustGet("canneal")
+	a := spec.StreamsSeeded(2, 1, 0)
+	b := spec.StreamsSeeded(2, 1, 1)
+	sameCount, total := 0, 0
+	for {
+		ra, okA := a[0].Next()
+		rb, okB := b[0].Next()
+		if okA != okB {
+			t.Fatal("seeded streams have different lengths")
+		}
+		if !okA {
+			break
+		}
+		total++
+		if ra.Addr == rb.Addr {
+			sameCount++
+		}
+	}
+	if total == 0 || sameCount == total {
+		t.Errorf("seeds 0 and 1 agree on %d/%d addresses; want different sequences", sameCount, total)
+	}
+}
+
+func TestSeedZeroIsCanonical(t *testing.T) {
+	spec := workloads.MustGet("barnes")
+	a := spec.Streams(2, 1)
+	b := spec.StreamsSeeded(2, 1, 0)
+	for {
+		ra, okA := a[0].Next()
+		rb, okB := b[0].Next()
+		if okA != okB || ra != rb {
+			t.Fatal("StreamsSeeded(.., 0) diverges from Streams")
+		}
+		if !okA {
+			return
+		}
+	}
+}
+
+func TestHeadlineShapeRobustAcrossSeeds(t *testing.T) {
+	// The linear-regression MW win must hold for every trace seed.
+	for seed := uint64(0); seed < 3; seed++ {
+		o := Options{Cores: 4, Scale: 1, TraceSeed: seed}
+		mesi, err := Run("linear-regression", core.MESI, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw, err := Run("linear-regression", core.ProtozoaMW, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mw.L1Misses*3 > mesi.L1Misses {
+			t.Errorf("seed %d: MW misses %d not << MESI %d", seed, mw.L1Misses, mesi.L1Misses)
+		}
+	}
+}
+
+func TestCannealCapacityShapeRobustAcrossSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		o := Options{Cores: 4, Scale: 1, TraceSeed: seed}
+		mesi, err := Run("canneal", core.MESI, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := Run("canneal", core.ProtozoaSW, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sw.UsedPct() < 1.5*mesi.UsedPct() {
+			t.Errorf("seed %d: SW used%% %.1f not well above MESI %.1f", seed, sw.UsedPct(), mesi.UsedPct())
+		}
+	}
+}

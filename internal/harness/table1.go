@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"protozoa/internal/core"
+	"protozoa/internal/stats"
+	"protozoa/internal/workloads"
+)
+
+// BlockSizes is the Table 1 sweep: conventional MESI with fixed blocks
+// of 16 to 128 bytes (block = region = coherence granularity).
+var BlockSizes = []int{16, 32, 64, 128}
+
+// Table1Cell holds one workload x block-size measurement.
+type Table1Cell struct {
+	MPKI    float64
+	Inv     uint64
+	UsedPct float64
+}
+
+// Table1Result is the full sweep.
+type Table1Result struct {
+	Workloads []string
+	Cells     map[string]map[int]Table1Cell // workload -> block size
+}
+
+// CollectTable1 sweeps MESI across the four block sizes.
+func CollectTable1(o Options) (*Table1Result, error) {
+	res := &Table1Result{
+		Workloads: o.workloadList(),
+		Cells:     make(map[string]map[int]Table1Cell),
+	}
+	for _, w := range res.Workloads {
+		res.Cells[w] = make(map[int]Table1Cell)
+		for _, bs := range BlockSizes {
+			st, err := runMESIWithBlock(w, bs, o)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells[w][bs] = Table1Cell{MPKI: st.MPKI(), Inv: st.Invalidations, UsedPct: st.UsedPct()}
+		}
+	}
+	return res, nil
+}
+
+func runMESIWithBlock(workload string, blockBytes int, o Options) (*stats.Stats, error) {
+	spec, err := workloads.Get(workload)
+	if err != nil {
+		return nil, err
+	}
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	cfg := core.DefaultConfig(core.MESI)
+	cfg.Cores = o.Cores
+	cfg.RegionBytes = blockBytes
+	cfg.MaxEvents = o.MaxEvents
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 200_000_000
+	}
+	switch o.Cores {
+	case 16:
+	case 4:
+		cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
+	case 2:
+		cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
+	case 1:
+		cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
+	default:
+		return nil, fmt.Errorf("harness: unsupported core count %d", o.Cores)
+	}
+	sys, err := core.NewSystem(cfg, spec.StreamsSeeded(o.Cores, o.Scale, o.TraceSeed))
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.Run(); err != nil {
+		return nil, fmt.Errorf("harness: table1 %s@%dB: %w", workload, blockBytes, err)
+	}
+	return sys.Stats(), nil
+}
+
+// trend classifies a metric change with the paper's Table 1 notation:
+// "~" within 10%, single arrow 10-33%, double 33-50%, triple over 50%.
+func trend(from, to float64) string {
+	if from == 0 {
+		if to == 0 {
+			return "~"
+		}
+		return "^^"
+	}
+	r := to / from
+	switch {
+	case r >= 1.50:
+		return "^^^"
+	case r >= 1.33:
+		return "^^"
+	case r >= 1.10:
+		return "^"
+	case r > 0.90:
+		return "~"
+	case r > 0.67:
+		return "v"
+	case r > 0.50:
+		return "vv"
+	default:
+		return "vvv"
+	}
+}
+
+// Optimal picks the block size minimizing MPKI; when the best two are
+// within 5% it reports "*" (no application-wide optimum), as the paper
+// does for cholesky, kmeans, etc.
+func (r *Table1Result) Optimal(w string) string {
+	best, second := 0, 0
+	bestV, secondV := 0.0, 0.0
+	for _, bs := range BlockSizes {
+		v := r.Cells[w][bs].MPKI
+		if best == 0 || v < bestV {
+			second, secondV = best, bestV
+			best, bestV = bs, v
+		} else if second == 0 || v < secondV {
+			second, secondV = bs, v
+		}
+	}
+	_ = second
+	if bestV == 0 {
+		return "*"
+	}
+	if secondV > 0 && (secondV-bestV)/bestV < 0.05 {
+		return "*"
+	}
+	return fmt.Sprintf("%d", best)
+}
+
+// Render prints the sweep in the paper's Table 1 format: per-workload
+// MPKI and INV trends between adjacent block sizes, the optimal size,
+// and the used-data percentage at 64 bytes.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: MESI behaviour vs fixed block size (trends: ~ <10%%, ^/v 10-33%%, ^^/vv 33-50%%, ^^^/vvv >50%%)\n")
+	fmt.Fprintf(&b, "%-18s %-10s %-10s %-10s %-8s %-7s\n",
+		"app", "16->32", "32->64", "64->128", "optimal", "used%@64")
+	for _, w := range r.Workloads {
+		fmt.Fprintf(&b, "%-18s", w)
+		for i := 0; i+1 < len(BlockSizes); i++ {
+			a, c := r.Cells[w][BlockSizes[i]], r.Cells[w][BlockSizes[i+1]]
+			fmt.Fprintf(&b, " %-4s %-4s ", trend(a.MPKI, c.MPKI), trend(float64(a.Inv), float64(c.Inv)))
+		}
+		fmt.Fprintf(&b, " %-7s %6.0f%%\n", r.Optimal(w), r.Cells[w][64].UsedPct)
+	}
+	fmt.Fprintf(&b, "(per pair: MPKI trend then INV trend)\n")
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package mem
+
+import "testing"
+
+// FuzzRangeAlgebra: intersect/span/bitmap identities over arbitrary
+// (clamped) ranges for every geometry.
+func FuzzRangeAlgebra(f *testing.F) {
+	f.Add(uint8(0), uint8(3), uint8(4), uint8(7), 64)
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1), 16)
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2 uint8, sz int) {
+		sizes := []int{16, 32, 64, 128}
+		g := MustGeometry(sizes[sz&3])
+		clamp := func(x, y uint8) Range {
+			w := uint8(g.WordsPerRegion())
+			x, y = x%w, y%w
+			if x > y {
+				x, y = y, x
+			}
+			return Range{Start: x, End: y}
+		}
+		ra, rb := clamp(a1, a2), clamp(b1, b2)
+		in, ok := ra.Intersect(rb)
+		if ok != ra.Overlaps(rb) {
+			t.Fatalf("Intersect ok=%v but Overlaps=%v", ok, ra.Overlaps(rb))
+		}
+		if ok {
+			if !ra.ContainsRange(in) || !rb.ContainsRange(in) {
+				t.Fatalf("intersection %v escapes %v/%v", in, ra, rb)
+			}
+			if in.Bitmap() != ra.Bitmap().Intersect(rb.Bitmap()) {
+				t.Fatalf("bitmap intersect mismatch")
+			}
+		}
+		sp := ra.Span(rb)
+		if !sp.ContainsRange(ra) || !sp.ContainsRange(rb) || !sp.Valid(g) {
+			t.Fatalf("span %v does not cover %v/%v", sp, ra, rb)
+		}
+		if ra.Bitmap().Count() != ra.Words() {
+			t.Fatalf("bitmap count %d != words %d", ra.Bitmap().Count(), ra.Words())
+		}
+		for w := ra.Start; ; w++ {
+			if run, ok := ra.Bitmap().RunContaining(w, g); !ok || !run.ContainsRange(ra) {
+				t.Fatalf("RunContaining(%d) on solid range = %v, %v", w, run, ok)
+			}
+			if w == ra.End {
+				break
+			}
+		}
+	})
+}

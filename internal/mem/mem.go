@@ -1,0 +1,213 @@
+// Package mem provides the address arithmetic shared by every layer of
+// the simulator: byte addresses, the REGION geometry that Protozoa's
+// coherence metadata is indexed by, word-granularity ranges within a
+// region (the <Start, End> markers of an Amoeba block), and per-word
+// usage bitmaps.
+//
+// Terminology follows the paper: a REGION is an aligned block of RMAX
+// bytes (64 by default) and is the indexing granularity of the
+// directory and the MSHRs; an Amoeba block is a sub-range of words
+// within a single region and is the granularity of storage and
+// communication.
+package mem
+
+import "fmt"
+
+// WordBytes is the size of a machine word; all data transfer sizes are
+// multiples of it.
+const WordBytes = 8
+
+// MaxRegionWords is the largest region's word count (128-byte regions
+// have 16 words), the bound for per-word arrays and bitmaps.
+const MaxRegionWords = 16
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// RegionID identifies an aligned region (Addr >> log2(RegionBytes)).
+type RegionID uint64
+
+// Geometry fixes the region size for a simulation. The paper uses
+// 64-byte regions for all Protozoa variants; the Table 1 block-size
+// sweep instantiates MESI with 16-128 byte geometries.
+type Geometry struct {
+	RegionBytes int // power of two, 16..128
+	regionShift uint
+	words       int
+}
+
+// NewGeometry returns the geometry for the given region size in bytes.
+// The size must be a power of two between 16 and 128 (2 to 16 words).
+func NewGeometry(regionBytes int) (Geometry, error) {
+	switch regionBytes {
+	case 16, 32, 64, 128:
+	default:
+		return Geometry{}, fmt.Errorf("mem: unsupported region size %d (want 16, 32, 64, or 128)", regionBytes)
+	}
+	shift := uint(0)
+	for 1<<shift != regionBytes {
+		shift++
+	}
+	return Geometry{RegionBytes: regionBytes, regionShift: shift, words: regionBytes / WordBytes}, nil
+}
+
+// MustGeometry is NewGeometry for known-good constants.
+func MustGeometry(regionBytes int) Geometry {
+	g, err := NewGeometry(regionBytes)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// DefaultGeometry is the paper's 64-byte, 8-word REGION.
+var DefaultGeometry = MustGeometry(64)
+
+// WordsPerRegion reports how many words a region holds.
+func (g Geometry) WordsPerRegion() int { return g.words }
+
+// Region maps a byte address to its region identifier.
+func (g Geometry) Region(a Addr) RegionID { return RegionID(uint64(a) >> g.regionShift) }
+
+// Base returns the first byte address of a region.
+func (g Geometry) Base(r RegionID) Addr { return Addr(uint64(r) << g.regionShift) }
+
+// WordOffset returns the word index of address a within its region.
+func (g Geometry) WordOffset(a Addr) uint8 {
+	return uint8((uint64(a) >> 3) & uint64(g.words-1))
+}
+
+// WordAddr returns the byte address of word w of region r.
+func (g Geometry) WordAddr(r RegionID, w uint8) Addr {
+	return g.Base(r) + Addr(uint64(w)*WordBytes)
+}
+
+// FullRange is the range covering the entire region.
+func (g Geometry) FullRange() Range { return Range{Start: 0, End: uint8(g.words - 1)} }
+
+// Range is an inclusive range [Start, End] of word offsets within a
+// single region: the <Start, End> markers of an Amoeba block. A valid
+// range has Start <= End < WordsPerRegion.
+type Range struct {
+	Start, End uint8
+}
+
+// OneWord is the range holding only word w.
+func OneWord(w uint8) Range { return Range{Start: w, End: w} }
+
+// Valid reports whether the range is well formed for geometry g.
+func (r Range) Valid(g Geometry) bool {
+	return r.Start <= r.End && int(r.End) < g.words
+}
+
+// Words is the number of words the range covers.
+func (r Range) Words() int { return int(r.End) - int(r.Start) + 1 }
+
+// Bytes is the number of data bytes the range covers.
+func (r Range) Bytes() int { return r.Words() * WordBytes }
+
+// Contains reports whether word w lies within the range.
+func (r Range) Contains(w uint8) bool { return w >= r.Start && w <= r.End }
+
+// ContainsRange reports whether o lies entirely within r.
+func (r Range) ContainsRange(o Range) bool { return o.Start >= r.Start && o.End <= r.End }
+
+// Overlaps reports whether the two ranges share at least one word.
+func (r Range) Overlaps(o Range) bool { return r.Start <= o.End && o.Start <= r.End }
+
+// Intersect returns the overlap of two ranges; ok is false when they
+// are disjoint.
+func (r Range) Intersect(o Range) (Range, bool) {
+	if !r.Overlaps(o) {
+		return Range{}, false
+	}
+	out := Range{Start: max8(r.Start, o.Start), End: min8(r.End, o.End)}
+	return out, true
+}
+
+// Span returns the smallest range covering both r and o (they need not
+// overlap).
+func (r Range) Span(o Range) Range {
+	return Range{Start: min8(r.Start, o.Start), End: max8(r.End, o.End)}
+}
+
+// Bitmap returns the word-usage bitmap with exactly the range's words set.
+func (r Range) Bitmap() Bitmap {
+	var b Bitmap
+	for w := r.Start; ; w++ {
+		b = b.Set(w)
+		if w == r.End {
+			break
+		}
+	}
+	return b
+}
+
+// String renders the range like the paper's figures ("0--3").
+func (r Range) String() string {
+	if r.Start == r.End {
+		return fmt.Sprintf("%d", r.Start)
+	}
+	return fmt.Sprintf("%d--%d", r.Start, r.End)
+}
+
+// Bitmap is a per-word bit vector within one region (regions have at
+// most 16 words, so 16 bits suffice for every geometry). Bit w is set
+// when word w is marked.
+type Bitmap uint16
+
+// Set returns the bitmap with bit w set.
+func (b Bitmap) Set(w uint8) Bitmap { return b | 1<<w }
+
+// Has reports whether bit w is set.
+func (b Bitmap) Has(w uint8) bool { return b&(1<<w) != 0 }
+
+// Union returns the union of two bitmaps.
+func (b Bitmap) Union(o Bitmap) Bitmap { return b | o }
+
+// Intersect returns the intersection of two bitmaps.
+func (b Bitmap) Intersect(o Bitmap) Bitmap { return b & o }
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() int {
+	n := 0
+	for v := b; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// CountIn returns the number of set bits inside range r.
+func (b Bitmap) CountIn(r Range) int {
+	return b.Intersect(r.Bitmap()).Count()
+}
+
+// RunContaining returns the maximal contiguous run of set bits that
+// contains word w; ok is false when bit w is clear.
+func (b Bitmap) RunContaining(w uint8, g Geometry) (Range, bool) {
+	if !b.Has(w) {
+		return Range{}, false
+	}
+	start, end := w, w
+	for start > 0 && b.Has(start-1) {
+		start--
+	}
+	for int(end) < g.words-1 && b.Has(end+1) {
+		end++
+	}
+	return Range{Start: start, End: end}, true
+}
+
+func min8(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}

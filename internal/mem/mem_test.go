@@ -1,0 +1,250 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValidSizes(t *testing.T) {
+	for _, sz := range []int{16, 32, 64, 128} {
+		g, err := NewGeometry(sz)
+		if err != nil {
+			t.Fatalf("NewGeometry(%d): %v", sz, err)
+		}
+		if g.WordsPerRegion() != sz/WordBytes {
+			t.Errorf("NewGeometry(%d).WordsPerRegion() = %d, want %d", sz, g.WordsPerRegion(), sz/WordBytes)
+		}
+	}
+}
+
+func TestNewGeometryRejectsBadSizes(t *testing.T) {
+	for _, sz := range []int{0, 8, 24, 63, 256, -64} {
+		if _, err := NewGeometry(sz); err == nil {
+			t.Errorf("NewGeometry(%d) succeeded, want error", sz)
+		}
+	}
+}
+
+func TestRegionAndBaseRoundTrip(t *testing.T) {
+	g := DefaultGeometry
+	for _, a := range []Addr{0, 1, 63, 64, 65, 4096, 0xdeadbeef} {
+		r := g.Region(a)
+		base := g.Base(r)
+		if base > a || a-base >= Addr(g.RegionBytes) {
+			t.Errorf("Base(Region(%#x)) = %#x, not within region", a, base)
+		}
+	}
+}
+
+func TestWordOffset(t *testing.T) {
+	g := DefaultGeometry
+	cases := []struct {
+		a    Addr
+		want uint8
+	}{
+		{0, 0}, {7, 0}, {8, 1}, {56, 7}, {63, 7}, {64, 0}, {72, 1},
+	}
+	for _, c := range cases {
+		if got := g.WordOffset(c.a); got != c.want {
+			t.Errorf("WordOffset(%d) = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+func TestWordAddr(t *testing.T) {
+	g := DefaultGeometry
+	if got := g.WordAddr(2, 3); got != 128+24 {
+		t.Errorf("WordAddr(2, 3) = %d, want %d", got, 128+24)
+	}
+	if g.WordOffset(g.WordAddr(5, 6)) != 6 {
+		t.Error("WordOffset(WordAddr(5, 6)) != 6")
+	}
+}
+
+func TestFullRange(t *testing.T) {
+	for _, sz := range []int{16, 32, 64, 128} {
+		g := MustGeometry(sz)
+		fr := g.FullRange()
+		if fr.Words() != g.WordsPerRegion() {
+			t.Errorf("geometry %d: FullRange().Words() = %d, want %d", sz, fr.Words(), g.WordsPerRegion())
+		}
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Range
+		want bool
+	}{
+		{Range{0, 3}, Range{4, 7}, false},
+		{Range{0, 3}, Range{3, 7}, true},
+		{Range{2, 5}, Range{0, 7}, true},
+		{Range{1, 1}, Range{1, 1}, true},
+		{Range{0, 0}, Range{7, 7}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestRangeIntersect(t *testing.T) {
+	r, ok := (Range{0, 5}).Intersect(Range{3, 7})
+	if !ok || r != (Range{3, 5}) {
+		t.Errorf("Intersect = %v, %v; want {3,5}, true", r, ok)
+	}
+	if _, ok := (Range{0, 2}).Intersect(Range{5, 7}); ok {
+		t.Error("disjoint ranges intersect")
+	}
+}
+
+func TestRangeSpan(t *testing.T) {
+	got := (Range{1, 2}).Span(Range{5, 6})
+	if got != (Range{1, 6}) {
+		t.Errorf("Span = %v, want {1,6}", got)
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{2, 5}
+	for w := uint8(0); w < 8; w++ {
+		want := w >= 2 && w <= 5
+		if r.Contains(w) != want {
+			t.Errorf("Contains(%d) = %v, want %v", w, r.Contains(w), want)
+		}
+	}
+	if !r.ContainsRange(Range{3, 4}) || r.ContainsRange(Range{3, 6}) {
+		t.Error("ContainsRange wrong")
+	}
+}
+
+func TestRangeWordsAndBytes(t *testing.T) {
+	r := Range{2, 5}
+	if r.Words() != 4 || r.Bytes() != 32 {
+		t.Errorf("Words/Bytes = %d/%d, want 4/32", r.Words(), r.Bytes())
+	}
+	if OneWord(3).Words() != 1 {
+		t.Error("OneWord.Words() != 1")
+	}
+}
+
+func TestRangeBitmap(t *testing.T) {
+	b := Range{1, 3}.Bitmap()
+	if b != 0b1110 {
+		t.Errorf("Bitmap = %b, want 1110", b)
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	if (Range{0, 3}).String() != "0--3" {
+		t.Errorf("String() = %q", Range{0, 3}.String())
+	}
+	if (Range{5, 5}).String() != "5" {
+		t.Errorf("String() = %q", Range{5, 5}.String())
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	var b Bitmap
+	b = b.Set(0).Set(3).Set(7)
+	if !b.Has(0) || !b.Has(3) || !b.Has(7) || b.Has(1) {
+		t.Error("Set/Has wrong")
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count = %d, want 3", b.Count())
+	}
+	if b.CountIn(Range{0, 3}) != 2 {
+		t.Errorf("CountIn = %d, want 2", b.CountIn(Range{0, 3}))
+	}
+	if b.Union(Bitmap(0b10)).Count() != 4 {
+		t.Error("Union wrong")
+	}
+	if b.Intersect(Bitmap(0b1001)) != Bitmap(0b1001) {
+		t.Error("Intersect wrong")
+	}
+}
+
+func TestBitmapRunContaining(t *testing.T) {
+	g := DefaultGeometry
+	b := Bitmap(0b01111010) // words 1, 3..6
+	r, ok := b.RunContaining(4, g)
+	if !ok || r != (Range{3, 6}) {
+		t.Errorf("RunContaining(4) = %v, %v; want {3,6}, true", r, ok)
+	}
+	r, ok = b.RunContaining(1, g)
+	if !ok || r != (Range{1, 1}) {
+		t.Errorf("RunContaining(1) = %v, %v; want {1,1}, true", r, ok)
+	}
+	if _, ok := b.RunContaining(0, g); ok {
+		t.Error("RunContaining(0) on clear bit succeeded")
+	}
+	// Run reaching the region edge must clamp to words-1.
+	full := g.FullRange().Bitmap()
+	r, ok = full.RunContaining(7, g)
+	if !ok || r != g.FullRange() {
+		t.Errorf("RunContaining on full bitmap = %v, want full range", r)
+	}
+}
+
+// clampRange turns arbitrary fuzz bytes into a valid range for g.
+func clampRange(g Geometry, a, b uint8) Range {
+	w := uint8(g.WordsPerRegion())
+	a, b = a%w, b%w
+	if a > b {
+		a, b = b, a
+	}
+	return Range{Start: a, End: b}
+}
+
+func TestQuickIntersectWithinBoth(t *testing.T) {
+	g := DefaultGeometry
+	f := func(a1, a2, b1, b2 uint8) bool {
+		ra, rb := clampRange(g, a1, a2), clampRange(g, b1, b2)
+		in, ok := ra.Intersect(rb)
+		if !ok {
+			return !ra.Overlaps(rb)
+		}
+		return ra.ContainsRange(in) && rb.ContainsRange(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpanContainsBoth(t *testing.T) {
+	g := DefaultGeometry
+	f := func(a1, a2, b1, b2 uint8) bool {
+		ra, rb := clampRange(g, a1, a2), clampRange(g, b1, b2)
+		sp := ra.Span(rb)
+		return sp.ContainsRange(ra) && sp.ContainsRange(rb) && sp.Valid(g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitmapCountMatchesRangeWords(t *testing.T) {
+	g := DefaultGeometry
+	f := func(a, b uint8) bool {
+		r := clampRange(g, a, b)
+		return r.Bitmap().Count() == r.Words()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOverlapMatchesBitmapIntersect(t *testing.T) {
+	g := DefaultGeometry
+	f := func(a1, a2, b1, b2 uint8) bool {
+		ra, rb := clampRange(g, a1, a2), clampRange(g, b1, b2)
+		return ra.Overlaps(rb) == (ra.Bitmap().Intersect(rb.Bitmap()) != 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package noc
+
+import (
+	"testing"
+
+	"protozoa/internal/engine"
+	"protozoa/internal/stats"
+)
+
+func contMesh(t *testing.T) (*Mesh, *engine.Engine, *stats.Stats) {
+	t.Helper()
+	eng := engine.New()
+	st := &stats.Stats{}
+	cfg := DefaultConfig()
+	cfg.ModelContention = true
+	m, err := New(cfg, eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, eng, st
+}
+
+func TestPathXYRouting(t *testing.T) {
+	m, _, _ := contMesh(t)
+	// 0 (0,0) -> 15 (3,3): X first then Y.
+	want := []int{1, 2, 3, 7, 11, 15}
+	got := m.Path(0, 15)
+	if len(got) != len(want) {
+		t.Fatalf("Path(0,15) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Path(0,15) = %v, want %v", got, want)
+		}
+	}
+	if len(m.Path(5, 5)) != 0 {
+		t.Error("self-path not empty")
+	}
+	// Westward + northward.
+	got = m.Path(15, 0)
+	if got[0] != 14 || got[len(got)-1] != 0 {
+		t.Errorf("Path(15,0) = %v", got)
+	}
+}
+
+func TestContentionDelaysSharedLink(t *testing.T) {
+	m, eng, st := contMesh(t)
+	var order []int
+	// Two long messages over the same link 0->1 back to back.
+	m.Send(0, 1, 0, 160, func() { order = append(order, 1) }) // 10 flits
+	m.Send(0, 1, 1, 160, func() { order = append(order, 2) }) // different vnet: no FIFO coupling
+	eng.Run(0)
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+	if st.LinkStallCycles == 0 {
+		t.Error("no stall cycles recorded on a contended link")
+	}
+}
+
+func TestNoContentionOnDisjointPaths(t *testing.T) {
+	m, eng, st := contMesh(t)
+	m.Send(0, 1, 0, 160, func() {})
+	m.Send(14, 15, 0, 160, func() {}) // disjoint links
+	eng.Run(0)
+	if st.LinkStallCycles != 0 {
+		t.Errorf("stalls = %d on disjoint paths, want 0", st.LinkStallCycles)
+	}
+}
+
+func TestContentionMatchesBaseLatencyWhenIdle(t *testing.T) {
+	// An uncontended message must arrive no earlier than the analytic
+	// latency and within one serialization slot of it.
+	m, eng, _ := contMesh(t)
+	base := engine.New()
+	stB := &stats.Stats{}
+	mb, err := New(DefaultConfig(), base, stB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at, atBase engine.Cycle
+	m.Send(0, 15, 0, 72, func() { at = eng.Now() })
+	mb.Send(0, 15, 0, 72, func() { atBase = base.Now() })
+	eng.Run(0)
+	base.Run(0)
+	if at < atBase {
+		t.Errorf("contended idle delivery %d earlier than base %d", at, atBase)
+	}
+	if at > atBase+DefaultConfig().SerialLat {
+		t.Errorf("idle delivery %d far beyond base %d", at, atBase)
+	}
+}
+
+func TestContentionLocalDeliveryUnaffected(t *testing.T) {
+	m, eng, st := contMesh(t)
+	m.Send(3, 3, 0, 64, func() {})
+	eng.Run(0)
+	if st.LinkStallCycles != 0 {
+		t.Error("local delivery stalled")
+	}
+	if eng.Now() != engine.Cycle(DefaultConfig().LocalLat) {
+		t.Errorf("local latency = %d", eng.Now())
+	}
+}

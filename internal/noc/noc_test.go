@@ -1,0 +1,152 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"protozoa/internal/engine"
+	"protozoa/internal/stats"
+)
+
+func newMesh(t *testing.T) (*Mesh, *engine.Engine, *stats.Stats) {
+	t.Helper()
+	eng := engine.New()
+	st := &stats.Stats{}
+	m, err := New(DefaultConfig(), eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, eng, st
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	eng := engine.New()
+	st := &stats.Stats{}
+	if _, err := New(Config{DimX: 0, DimY: 4, FlitBytes: 16}, eng, st); err == nil {
+		t.Error("zero DimX accepted")
+	}
+	if _, err := New(Config{DimX: 4, DimY: 4, FlitBytes: 0}, eng, st); err == nil {
+		t.Error("zero FlitBytes accepted")
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	m, _, _ := newMesh(t)
+	cases := []struct {
+		src, dst, want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},
+		{0, 5, 2},
+		{0, 15, 6}, // corner to corner on 4x4
+		{3, 12, 6},
+		{5, 6, 1},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	m, _, _ := newMesh(t)
+	f := func(a, b uint8) bool {
+		s, d := int(a)%16, int(b)%16
+		return m.Hops(s, d) == m.Hops(d, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlits(t *testing.T) {
+	m, _, _ := newMesh(t)
+	cases := []struct{ bytes, want int }{
+		{0, 1}, {1, 1}, {8, 1}, {16, 1}, {17, 2}, {32, 2}, {72, 5},
+	}
+	for _, c := range cases {
+		if got := m.Flits(c.bytes); got != c.want {
+			t.Errorf("Flits(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestSendAccrualAndDelivery(t *testing.T) {
+	m, eng, st := newMesh(t)
+	delivered := false
+	m.Send(0, 15, 0, 72, func() { delivered = true }) // 5 flits x 6 hops
+	if st.FlitHops != 30 {
+		t.Errorf("FlitHops = %d, want 30", st.FlitHops)
+	}
+	if st.Flits != 5 || st.Messages != 1 {
+		t.Errorf("Flits/Messages = %d/%d, want 5/1", st.Flits, st.Messages)
+	}
+	eng.Run(0)
+	if !delivered {
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestLocalDeliveryZeroFlitHops(t *testing.T) {
+	m, eng, st := newMesh(t)
+	m.Send(3, 3, 0, 64, func() {})
+	if st.FlitHops != 0 {
+		t.Errorf("local FlitHops = %d, want 0", st.FlitHops)
+	}
+	eng.Run(0)
+	if eng.Now() != engine.Cycle(DefaultConfig().LocalLat) {
+		t.Errorf("local latency = %d, want %d", eng.Now(), DefaultConfig().LocalLat)
+	}
+}
+
+func TestFIFOOrderingSameChannel(t *testing.T) {
+	m, eng, _ := newMesh(t)
+	var got []int
+	// Big message first (slow), small second (would be faster): FIFO must
+	// still deliver in send order.
+	m.Send(0, 15, 1, 160, func() { got = append(got, 1) })
+	m.Send(0, 15, 1, 8, func() { got = append(got, 2) })
+	eng.Run(0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("delivery order = %v, want [1 2]", got)
+	}
+}
+
+func TestDifferentVnetsMayReorder(t *testing.T) {
+	m, eng, _ := newMesh(t)
+	var got []int
+	m.Send(0, 15, 0, 160, func() { got = append(got, 1) }) // slow, vnet 0
+	m.Send(0, 15, 2, 8, func() { got = append(got, 2) })   // fast, vnet 2
+	eng.Run(0)
+	if len(got) != 2 || got[0] != 2 {
+		t.Fatalf("delivery order = %v, want fast vnet-2 message first", got)
+	}
+}
+
+func TestLatencyScalesWithHopsAndFlits(t *testing.T) {
+	m, _, _ := newMesh(t)
+	cfg := DefaultConfig()
+	oneFlitOneHop := m.Latency(0, 1, 8)
+	want := cfg.RouterLat + cfg.HopLatency
+	if oneFlitOneHop != want {
+		t.Errorf("Latency(0,1,8) = %d, want %d", oneFlitOneHop, want)
+	}
+	if m.Latency(0, 1, 80) <= oneFlitOneHop {
+		t.Error("more flits should cost more")
+	}
+	if m.Latency(0, 15, 8) <= oneFlitOneHop {
+		t.Error("more hops should cost more")
+	}
+}
+
+func TestSendPanicsOnBadNode(t *testing.T) {
+	m, _, _ := newMesh(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Send with out-of-range node did not panic")
+		}
+	}()
+	m.Send(0, 99, 0, 8, func() {})
+}

@@ -1,0 +1,108 @@
+package noc
+
+import (
+	"testing"
+
+	"protozoa/internal/engine"
+	"protozoa/internal/stats"
+)
+
+func topoMesh(t *testing.T, topo Topology) *Mesh {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Topology = topo
+	m, err := New(cfg, engine.New(), &stats.Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRingHops(t *testing.T) {
+	m := topoMesh(t, TopoRing)
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 8, 8}, {0, 15, 1}, {0, 9, 7}, {3, 13, 6},
+	}
+	for _, c := range cases {
+		if got := m.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("ring Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestCrossbarHops(t *testing.T) {
+	m := topoMesh(t, TopoCrossbar)
+	for src := 0; src < 16; src++ {
+		for dst := 0; dst < 16; dst++ {
+			want := 1
+			if src == dst {
+				want = 0
+			}
+			if got := m.Hops(src, dst); got != want {
+				t.Fatalf("crossbar Hops(%d,%d) = %d, want %d", src, dst, got, want)
+			}
+		}
+	}
+}
+
+func TestRingPathShortestDirection(t *testing.T) {
+	m := topoMesh(t, TopoRing)
+	// 0 -> 15 goes backwards (one hop).
+	p := m.Path(0, 15)
+	if len(p) != 1 || p[0] != 15 {
+		t.Errorf("Path(0,15) = %v, want [15]", p)
+	}
+	// 0 -> 3 forward.
+	p = m.Path(0, 3)
+	if len(p) != 3 || p[0] != 1 || p[2] != 3 {
+		t.Errorf("Path(0,3) = %v", p)
+	}
+	if len(m.Path(4, 4)) != 0 {
+		t.Error("self path not empty")
+	}
+}
+
+func TestPathLengthMatchesHopsAllTopologies(t *testing.T) {
+	for _, topo := range []Topology{TopoMesh, TopoRing, TopoCrossbar} {
+		m := topoMesh(t, topo)
+		for src := 0; src < 16; src++ {
+			for dst := 0; dst < 16; dst++ {
+				if got, want := len(m.Path(src, dst)), m.Hops(src, dst); got != want {
+					t.Fatalf("%v: |Path(%d,%d)| = %d, Hops = %d", topo, src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	for topo, want := range map[Topology]string{
+		TopoMesh: "mesh", TopoRing: "ring", TopoCrossbar: "crossbar",
+	} {
+		if topo.String() != want {
+			t.Errorf("%d.String() = %q", topo, topo.String())
+		}
+	}
+}
+
+func TestTopologyFlitHopCosts(t *testing.T) {
+	// The same message costs more flit-hops on the ring and fewer on
+	// the crossbar than on the mesh (corner-to-corner traffic).
+	cost := func(topo Topology) uint64 {
+		eng := engine.New()
+		st := &stats.Stats{}
+		cfg := DefaultConfig()
+		cfg.Topology = topo
+		m, err := New(cfg, eng, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Send(0, 10, 0, 72, func() {})
+		eng.Run(0)
+		return st.FlitHops
+	}
+	mesh, ring, xbar := cost(TopoMesh), cost(TopoRing), cost(TopoCrossbar)
+	if !(xbar < mesh && mesh < ring) {
+		t.Errorf("flit-hops crossbar %d < mesh %d < ring %d violated", xbar, mesh, ring)
+	}
+}

@@ -1,0 +1,79 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"protozoa/internal/mem"
+)
+
+func TestRegionColdPredictsFullRegion(t *testing.T) {
+	p := NewRegion(mem.DefaultGeometry, 64)
+	if got := p.Predict(0, 7, 3); got != mem.DefaultGeometry.FullRange() {
+		t.Errorf("cold Predict = %v, want full region", got)
+	}
+}
+
+func TestRegionLearnsUsageRun(t *testing.T) {
+	p := NewRegion(mem.DefaultGeometry, 64)
+	used := mem.Bitmap(0).Set(2).Set(3).Set(4)
+	p.Train(0, 7, 2, used, mem.DefaultGeometry.FullRange())
+	if got := p.Predict(0, 7, 3); got != (mem.Range{Start: 2, End: 4}) {
+		t.Errorf("Predict = %v, want {2,4}", got)
+	}
+	// A miss outside the remembered usage predicts a single word.
+	if got := p.Predict(0, 7, 6); got != mem.OneWord(6) {
+		t.Errorf("Predict outside usage = %v, want one word", got)
+	}
+}
+
+func TestRegionAccumulatesMultiBlockFootprint(t *testing.T) {
+	p := NewRegion(mem.DefaultGeometry, 64)
+	// Two blocks of the same region die with disjoint usage.
+	p.Train(0, 9, 0, mem.Bitmap(0).Set(0).Set(1), mem.Range{Start: 0, End: 1})
+	p.Train(0, 9, 5, mem.Bitmap(0).Set(5), mem.Range{Start: 5, End: 6})
+	if got := p.Predict(0, 9, 0); got != (mem.Range{Start: 0, End: 1}) {
+		t.Errorf("Predict left run = %v, want {0,1}", got)
+	}
+	if got := p.Predict(0, 9, 5); got != mem.OneWord(5) {
+		t.Errorf("Predict right run = %v, want {5,5}", got)
+	}
+}
+
+func TestRegionRetrainReplacesSpan(t *testing.T) {
+	p := NewRegion(mem.DefaultGeometry, 64)
+	full := mem.DefaultGeometry.FullRange()
+	p.Train(0, 9, 0, full.Bitmap(), full)
+	// Retraining the same span with one touched word shrinks it.
+	p.Train(0, 9, 0, mem.OneWord(3).Bitmap(), full)
+	if got := p.Predict(0, 9, 3); got != mem.OneWord(3) {
+		t.Errorf("Predict after retrain = %v, want one word", got)
+	}
+}
+
+func TestRegionCollisionReplaces(t *testing.T) {
+	p := NewRegion(mem.DefaultGeometry, 1) // everything collides
+	p.Train(0, 1, 0, mem.OneWord(0).Bitmap(), mem.DefaultGeometry.FullRange())
+	p.Train(0, 2, 7, mem.OneWord(7).Bitmap(), mem.DefaultGeometry.FullRange())
+	if got := p.Predict(0, 1, 0); got != mem.DefaultGeometry.FullRange() {
+		t.Errorf("evicted region should be cold, got %v", got)
+	}
+	if got := p.Predict(0, 2, 7); got != mem.OneWord(7) {
+		t.Errorf("resident region Predict = %v", got)
+	}
+}
+
+func TestQuickRegionPredictionValid(t *testing.T) {
+	g := mem.DefaultGeometry
+	p := NewRegion(g, 128)
+	f := func(region uint16, trigger, w uint8, bits uint16) bool {
+		trigger %= 8
+		w %= 8
+		p.Train(0, mem.RegionID(region), trigger, mem.Bitmap(bits), g.FullRange())
+		got := p.Predict(0, mem.RegionID(region), w)
+		return got.Valid(g) && got.Contains(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EnergyModel converts event counts into dynamic energy. The paper
+// reports interconnect energy as flit-hops (Figure 15, citing the WETI
+// report that on-chip networks reach 28% of chip power); this model
+// extends the proxy to the whole memory system with per-event
+// coefficients so protocol comparisons can be expressed in joules.
+// The defaults are representative 32 nm-era figures; they are knobs,
+// not measurements — relative comparisons are the point.
+type EnergyModel struct {
+	FlitHopPJ  float64 // per flit per hop (link + router traversal)
+	L1AccessPJ float64 // per L1 lookup (hit or miss)
+	L2AccessPJ float64 // per L2/directory activation
+	MemPJ      float64 // per off-chip memory access
+}
+
+// DefaultEnergyModel returns the representative coefficients.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{FlitHopPJ: 12, L1AccessPJ: 8, L2AccessPJ: 40, MemPJ: 2000}
+}
+
+// EnergyBreakdown is the per-component estimate in nanojoules.
+type EnergyBreakdown struct {
+	NetworkNJ float64
+	L1NJ      float64
+	L2NJ      float64
+	MemNJ     float64
+}
+
+// Total sums the components.
+func (e EnergyBreakdown) Total() float64 {
+	return e.NetworkNJ + e.L1NJ + e.L2NJ + e.MemNJ
+}
+
+// String renders the breakdown.
+func (e EnergyBreakdown) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %.1f nJ, L1 %.1f nJ, L2 %.1f nJ, memory %.1f nJ (total %.1f nJ)",
+		e.NetworkNJ, e.L1NJ, e.L2NJ, e.MemNJ, e.Total())
+	return b.String()
+}
+
+// Estimate applies the model to a run's counters. L1 activity is the
+// demand accesses plus the probes the protocol sent there; L2 activity
+// is every transaction activation (misses) plus writeback patches;
+// memory is first-touch reads, non-inclusive re-fetches, and eviction
+// writebacks.
+func (m EnergyModel) Estimate(s *Stats) EnergyBreakdown {
+	l1Events := float64(s.Accesses + s.InvMsgs + s.Invalidations)
+	l2Events := float64(s.L1Misses + s.Writebacks)
+	memEvents := float64(s.MemReads + s.MemFetches + s.MemWritebacks)
+	return EnergyBreakdown{
+		NetworkNJ: float64(s.FlitHops) * m.FlitHopPJ / 1000,
+		L1NJ:      l1Events * m.L1AccessPJ / 1000,
+		L2NJ:      l2Events * m.L2AccessPJ / 1000,
+		MemNJ:     memEvents * m.MemPJ / 1000,
+	}
+}

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnergyEstimate(t *testing.T) {
+	m := EnergyModel{FlitHopPJ: 10, L1AccessPJ: 5, L2AccessPJ: 50, MemPJ: 1000}
+	s := &Stats{
+		FlitHops: 1000, Accesses: 200, InvMsgs: 10, Invalidations: 10,
+		L1Misses: 40, Writebacks: 10, MemReads: 3, MemFetches: 1, MemWritebacks: 1,
+	}
+	e := m.Estimate(s)
+	if e.NetworkNJ != 10.0 {
+		t.Errorf("network = %v, want 10", e.NetworkNJ)
+	}
+	if e.L1NJ != 220*5/1000.0 {
+		t.Errorf("L1 = %v", e.L1NJ)
+	}
+	if e.L2NJ != 50*50/1000.0 {
+		t.Errorf("L2 = %v", e.L2NJ)
+	}
+	if e.MemNJ != 5.0 {
+		t.Errorf("mem = %v, want 5", e.MemNJ)
+	}
+	if e.Total() != e.NetworkNJ+e.L1NJ+e.L2NJ+e.MemNJ {
+		t.Error("total mismatch")
+	}
+	if !strings.Contains(e.String(), "network") || !strings.Contains(e.String(), "total") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestDefaultEnergyModelSane(t *testing.T) {
+	m := DefaultEnergyModel()
+	if m.FlitHopPJ <= 0 || m.MemPJ < m.L2AccessPJ || m.L2AccessPJ < m.L1AccessPJ {
+		t.Errorf("implausible defaults %+v", m)
+	}
+}

@@ -1,0 +1,56 @@
+package stats
+
+import "testing"
+
+func TestRecordMissLatency(t *testing.T) {
+	var s Stats
+	s.L1Misses = 4
+	for _, lat := range []uint64{1, 10, 100, 1000} {
+		s.RecordMissLatency(lat)
+	}
+	if s.MissLatencySum != 1111 || s.MissLatencyMax != 1000 {
+		t.Errorf("sum/max = %d/%d", s.MissLatencySum, s.MissLatencyMax)
+	}
+	if got := s.AvgMissLatency(); got != 1111.0/4 {
+		t.Errorf("avg = %v", got)
+	}
+}
+
+func TestMissLatencyBuckets(t *testing.T) {
+	var s Stats
+	s.RecordMissLatency(1)    // bucket 0
+	s.RecordMissLatency(2)    // bucket 1
+	s.RecordMissLatency(3)    // bucket 1
+	s.RecordMissLatency(1024) // bucket 10
+	if s.MissLatencyHist[0] != 1 || s.MissLatencyHist[1] != 2 || s.MissLatencyHist[10] != 1 {
+		t.Errorf("hist = %v", s.MissLatencyHist[:12])
+	}
+}
+
+func TestMissLatencyPercentiles(t *testing.T) {
+	var s Stats
+	for i := 0; i < 90; i++ {
+		s.RecordMissLatency(40) // bucket 5, upper bound 64
+	}
+	for i := 0; i < 10; i++ {
+		s.RecordMissLatency(500) // bucket 8, upper bound 512
+	}
+	if p := s.MissLatencyP(50); p != 64 {
+		t.Errorf("p50 = %d, want 64", p)
+	}
+	if p := s.MissLatencyP(95); p != 512 {
+		t.Errorf("p95 = %d, want 512", p)
+	}
+	var empty Stats
+	if empty.MissLatencyP(50) != 0 || empty.AvgMissLatency() != 0 {
+		t.Error("empty stats percentile not zero")
+	}
+}
+
+func TestMissLatencyHugeValueClamps(t *testing.T) {
+	var s Stats
+	s.RecordMissLatency(1 << 40) // beyond the last bucket
+	if s.MissLatencyHist[len(s.MissLatencyHist)-1] != 1 {
+		t.Error("huge latency not clamped to last bucket")
+	}
+}

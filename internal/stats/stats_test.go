@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMPKI(t *testing.T) {
+	s := Stats{Instructions: 10_000, L1Misses: 25}
+	if !almostEq(s.MPKI(), 2.5) {
+		t.Errorf("MPKI = %v, want 2.5", s.MPKI())
+	}
+	var zero Stats
+	if zero.MPKI() != 0 {
+		t.Error("MPKI with zero instructions should be 0")
+	}
+}
+
+func TestUsedPct(t *testing.T) {
+	s := Stats{UsedDataBytes: 30, UnusedDataBytes: 70}
+	if !almostEq(s.UsedPct(), 30) {
+		t.Errorf("UsedPct = %v, want 30", s.UsedPct())
+	}
+	var zero Stats
+	if zero.UsedPct() != 0 {
+		t.Error("UsedPct with no data should be 0")
+	}
+}
+
+func TestControlTotals(t *testing.T) {
+	var s Stats
+	s.AddControl(ClassREQ, 8)
+	s.AddControl(ClassACK, 8)
+	s.AddControl(ClassACK, 8)
+	if s.ControlTotal() != 24 {
+		t.Errorf("ControlTotal = %d, want 24", s.ControlTotal())
+	}
+	s.UsedDataBytes = 16
+	s.UnusedDataBytes = 8
+	if s.TrafficTotal() != 48 {
+		t.Errorf("TrafficTotal = %d, want 48", s.TrafficTotal())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		ClassREQ: "REQ", ClassFWD: "FWD", ClassINV: "INV",
+		ClassACK: "ACK", ClassNACK: "NACK", ClassDATA: "DATAHDR", ClassWB: "WBHDR",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if Class(200).String() == "" {
+		t.Error("unknown class should still render")
+	}
+}
+
+func TestRecordFillAndBuckets(t *testing.T) {
+	var s Stats
+	s.RecordFill(1)
+	s.RecordFill(2)
+	s.RecordFill(4)
+	s.RecordFill(8)
+	b := s.BlockDistBuckets()
+	if !almostEq(b[0], 50) || !almostEq(b[1], 25) || !almostEq(b[2], 0) || !almostEq(b[3], 25) {
+		t.Errorf("buckets = %v, want [50 25 0 25]", b)
+	}
+	s.RecordFill(0)  // ignored
+	s.RecordFill(17) // ignored
+	var total uint64
+	for _, n := range s.BlockSizeHist {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("histogram total = %d, want 4", total)
+	}
+}
+
+func TestBlockDistFoldsWideBlocks(t *testing.T) {
+	var s Stats
+	s.RecordFill(16) // 128-byte block folds into the 7-8 bucket
+	b := s.BlockDistBuckets()
+	if !almostEq(b[3], 100) {
+		t.Errorf("wide block bucket = %v, want 100 in last", b)
+	}
+}
+
+func TestOwnerMix(t *testing.T) {
+	s := Stats{DirOwnerOneOnly: 1, DirOwnerPlusSharers: 1, DirMultiOwner: 2}
+	a, b, c := s.OwnerMix()
+	if !almostEq(a, 25) || !almostEq(b, 25) || !almostEq(c, 50) {
+		t.Errorf("OwnerMix = %v %v %v, want 25 25 50", a, b, c)
+	}
+	var zero Stats
+	a, b, c = zero.OwnerMix()
+	if a != 0 || b != 0 || c != 0 {
+		t.Error("OwnerMix on empty stats should be zeros")
+	}
+}
+
+func TestMissRatePct(t *testing.T) {
+	s := Stats{Accesses: 200, L1Misses: 10}
+	if !almostEq(s.MissRatePct(), 5) {
+		t.Errorf("MissRatePct = %v, want 5", s.MissRatePct())
+	}
+}

@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"testing"
+
+	"protozoa/internal/trace"
+)
+
+func TestMicroRegistry(t *testing.T) {
+	names := MicroNames()
+	if len(names) != 3 {
+		t.Fatalf("micros = %v, want 3", names)
+	}
+	for _, n := range names {
+		s, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Suite != "micro" {
+			t.Errorf("%s suite = %q", n, s.Suite)
+		}
+	}
+	if len(Micros()) != len(names) {
+		t.Error("Micros()/MicroNames() mismatch")
+	}
+}
+
+func TestMicrosExcludedFromPaperSuite(t *testing.T) {
+	for _, n := range Names() {
+		if _, micro := microRegistry[n]; micro {
+			t.Errorf("micro %s leaked into the paper suite", n)
+		}
+	}
+	if len(Names()) != 28 {
+		t.Errorf("paper suite = %d workloads, want 28", len(Names()))
+	}
+}
+
+func TestAtomicCounterIsAllRMW(t *testing.T) {
+	streams := MustGet("micro-atomic-counter").Streams(4, 1)
+	for c, s := range streams {
+		for {
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			if a.Kind != trace.RMW {
+				t.Fatalf("core %d: non-RMW record %+v", c, a)
+			}
+			if a.Addr != 0x0010_0000 {
+				t.Fatalf("core %d: counter at %#x", c, a.Addr)
+			}
+		}
+	}
+}
+
+func TestTicketLockShape(t *testing.T) {
+	streams := MustGet("micro-ticket-lock").Streams(2, 1)
+	recs := drain(streams[0])
+	rmws, loads, stores := 0, 0, 0
+	for _, a := range recs {
+		switch a.Kind {
+		case trace.RMW:
+			rmws++
+		case trace.Load:
+			loads++
+		case trace.Store:
+			stores++
+		}
+	}
+	// Per iteration: 2 RMWs (ticket + release), 3 spins + 4 CS loads,
+	// 4 CS stores.
+	if rmws != 2*60 || loads != 7*60 || stores != 4*60 {
+		t.Errorf("shape = %d RMW / %d loads / %d stores", rmws, loads, stores)
+	}
+}
+
+func TestProducerConsumerPairsDisjoint(t *testing.T) {
+	streams := MustGet("micro-producer-consumer").Streams(4, 1)
+	// Pair 0 (cores 0,1) and pair 1 (cores 2,3) must not share regions.
+	r0 := regionsOf(drain(streams[0]))
+	r2 := regionsOf(drain(streams[2]))
+	for r := range r0 {
+		if r2[r] {
+			t.Fatalf("pairs share region %d", r)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package workloads
+
+// The second half of the suite: the remaining applications of the
+// paper's Table 1 / Figure 9 benchmark list (SPLASH-2 lu/ocean/radix/
+// water/cholesky, PARSEC facesim/x264, Phoenix reverse-index, DaCapo
+// h2/tradebeans, SPECjbb, and the parkd k-D tree builder).
+
+import (
+	"protozoa/internal/mem"
+)
+
+func init() {
+	register(Spec{
+		Name: "lu", Models: "lu", Suite: "SPLASH-2",
+		About: "blocked dense factorization: streaming panels, coarse blocks win",
+		gen:   genLU,
+	})
+	register(Spec{
+		Name: "ocean", Models: "ocean", Suite: "SPLASH-2",
+		About: "stencil sweeps over private grid partitions with neighbour halos",
+		gen:   genOcean,
+	})
+	register(Spec{
+		Name: "radix", Models: "radix", Suite: "SPLASH-2",
+		About: "scatter phase with irregular writes into a shared permutation",
+		gen:   genRadix,
+	})
+	register(Spec{
+		Name: "water", Models: "water-spatial", Suite: "SPLASH-2",
+		About: "molecule structs mostly private, pairwise force reads, low used%",
+		gen:   genWater,
+	})
+	register(Spec{
+		Name: "cholesky", Models: "cholesky", Suite: "SPLASH-2",
+		About: "sparse supernodes: mixed granularity, no application-wide optimum",
+		gen:   genCholesky,
+	})
+	register(Spec{
+		Name: "facesim", Models: "facesim", Suite: "PARSEC",
+		About: "high-locality private physics with a small shared frontier",
+		gen:   genFacesim,
+	})
+	register(Spec{
+		Name: "x264", Models: "x264", Suite: "PARSEC",
+		About: "motion search reads over reference frames, private encode writes",
+		gen:   genX264,
+	})
+	register(Spec{
+		Name: "rev-index", Models: "reverse_index", Suite: "Phoenix",
+		About: "link lists appended by all cores: invalidation-heavy, many NACKs",
+		gen:   genRevIndex,
+	})
+	register(Spec{
+		Name: "h2", Models: "h2", Suite: "DaCapo",
+		About: "database pages with false-shared row headers and hot locks",
+		gen:   genH2,
+	})
+	register(Spec{
+		Name: "tradebeans", Models: "tradebeans", Suite: "DaCapo",
+		About: "object graph churn, moderate locality, minimal sharing",
+		gen:   genTradebeans,
+	})
+	register(Spec{
+		Name: "jbb", Models: "spec-jbb", Suite: "commercial",
+		About: "warehouse transactions: irregular shared reads, coarse helps some",
+		gen:   genJBB,
+	})
+	register(Spec{
+		Name: "parkd", Models: "parkd", Suite: "Denovo",
+		About: "parallel k-D tree build: phase-partitioned writes, streaming reads",
+		gen:   genParkd,
+	})
+}
+
+// genLU streams 64-byte panel rows sequentially (read-modify-write)
+// with a small shared pivot row read by everyone.
+func genLU(b *builder) {
+	rounds := 4 * b.scale
+	const panelWords = 512
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < b.cores; c++ {
+			base := arena1 + mem.Addr(c)*0x100000
+			// Pivot row: shared read-only this round, high locality.
+			for w := 0; w < 16; w++ {
+				b.load(c, word(arena0, r*16+w), 0x10000, 1)
+			}
+			for i := 0; i < panelWords/2; i++ {
+				w := (r*panelWords/2 + i) % 4096
+				b.load(c, word(base, w), 0x10010, 1)
+				b.store(c, word(base, w), 0x10020, 1)
+			}
+		}
+		b.barrier()
+	}
+}
+
+// genOcean alternates red/black stencil sweeps over a private grid
+// partition; the first and last rows are halos read by the neighbour.
+func genOcean(b *builder) {
+	rounds := 5 * b.scale
+	const rowWords = 32
+	const rowsPerCore = 12
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < b.cores; c++ {
+			// grid rows laid out contiguously core after core, so halo
+			// rows of adjacent partitions share regions at the seams.
+			rowBase := c * rowsPerCore
+			for row := 0; row < rowsPerCore; row++ {
+				for wdx := r % 2; wdx < rowWords; wdx += 8 {
+					w := (rowBase+row)*rowWords + wdx
+					b.load(c, word(arena1, w), 0x11000, 1)
+					b.store(c, word(arena1, w), 0x11010, 1)
+				}
+			}
+			// Halo reads from the neighbour's first row.
+			nb := (c + 1) % b.cores
+			for wdx := 0; wdx < rowWords; wdx += 8 {
+				b.load(c, word(arena1, nb*rowsPerCore*rowWords+wdx), 0x11020, 1)
+			}
+		}
+		b.barrier()
+	}
+}
+
+// genRadix reads private keys sequentially and scatters them to a
+// shared output array at rank positions: single-word writes all over
+// shared regions.
+func genRadix(b *builder) {
+	iters := 700 * b.scale
+	const outWords = 1 << 13
+	for c := 0; c < b.cores; c++ {
+		rng := b.rng(12000, c)
+		keyBase := arena1 + mem.Addr(c)*0x80000
+		for i := 0; i < iters; i++ {
+			b.load(c, word(keyBase, i), 0x12000, 1)
+			// Rank positions interleave across cores (each core owns a
+			// digit bucket but buckets interleave in memory).
+			slot := rng.Intn(outWords/b.cores)*b.cores + c
+			b.store(c, word(arena2, slot), 0x12010, 1)
+		}
+	}
+}
+
+// genWater updates private molecule structs (2 hot words of a 64-byte
+// record) and reads random other molecules pairwise.
+func genWater(b *builder) {
+	iters := 600 * b.scale
+	const molecules = 1024 // shared array of 64-byte molecule records
+	for c := 0; c < b.cores; c++ {
+		rng := b.rng(13000, c)
+		for i := 0; i < iters; i++ {
+			// Own molecule (molecules are statically partitioned).
+			own := (rng.Intn(molecules/b.cores))*b.cores + c
+			b.load(c, word(arena1, own*8), 0x13000, 1)
+			b.store(c, word(arena1, own*8), 0x13010, 1)
+			// Pairwise force: read 2 words of a random other molecule.
+			other := rng.Intn(molecules)
+			b.load(c, word(arena1, other*8+2), 0x13020, 1)
+			b.load(c, word(arena1, other*8+3), 0x13030, 1)
+		}
+	}
+}
+
+// genCholesky mixes dense supernode streaming with sparse single-word
+// column updates: the paper's "no application-wide optimum" case.
+func genCholesky(b *builder) {
+	iters := 300 * b.scale
+	const sparseWords = 1 << 12
+	for c := 0; c < b.cores; c++ {
+		rng := b.rng(14000, c)
+		dense := arena1 + mem.Addr(c)*0x80000
+		for i := 0; i < iters; i++ {
+			// Dense supernode: an 8-word burst.
+			base := (i * 8) % 2048
+			for w := 0; w < 8; w++ {
+				b.load(c, word(dense, base+w), 0x14000, 1)
+			}
+			// Sparse update: one word somewhere in the shared frontal
+			// matrix.
+			s := word(arena2, rng.Intn(sparseWords))
+			b.load(c, s, 0x14010, 1)
+			b.store(c, s, 0x14020, 1)
+		}
+	}
+}
+
+// genFacesim runs high-locality private element updates with a small
+// shared frontier of single words.
+func genFacesim(b *builder) {
+	iters := 500 * b.scale
+	for c := 0; c < b.cores; c++ {
+		rng := b.rng(15000, c)
+		base := arena1 + mem.Addr(c)*0x80000
+		for i := 0; i < iters; i++ {
+			e := (i * 4) % 2048
+			for w := 0; w < 4; w++ {
+				b.load(c, word(base, e+w), 0x15000, 1)
+			}
+			b.store(c, word(base, e), 0x15010, 1)
+			if i%8 == 7 {
+				f := word(arena0, rng.Intn(32)*b.cores+c)
+				b.load(c, f, 0x15020, 1)
+				b.store(c, f, 0x15030, 1)
+			}
+		}
+	}
+}
+
+// genX264 reads 4-word motion-search windows at random offsets in a
+// shared read-only reference frame and writes a private output
+// stream.
+func genX264(b *builder) {
+	iters := 600 * b.scale
+	const frameWords = 1 << 13
+	for c := 0; c < b.cores; c++ {
+		rng := b.rng(16000, c)
+		out := arena2 + mem.Addr(c)*0x80000
+		for i := 0; i < iters; i++ {
+			n := rng.Intn(frameWords - 4)
+			for w := 0; w < 4; w++ {
+				b.load(c, word(arena1, n+w), 0x16000, 1)
+			}
+			b.store(c, word(out, i%2048), 0x16010, 1)
+		}
+	}
+}
+
+// genRevIndex appends to shared per-key link lists: cores write list
+// tail words all over shared regions and re-read heads, generating
+// the invalidation/NACK churn the paper reports for rev-index.
+func genRevIndex(b *builder) {
+	iters := 600 * b.scale
+	const lists = 512
+	for c := 0; c < b.cores; c++ {
+		rng := b.rng(17000, c)
+		inBase := arena1 + mem.Addr(c)*0x80000
+		for i := 0; i < iters; i++ {
+			b.load(c, word(inBase, i), 0x17000, 1) // scan private input
+			l := rng.Intn(lists)
+			head := word(arena0, l)
+			b.load(c, head, 0x17010, 1)  // read list head
+			b.store(c, head, 0x17020, 1) // append (update head)
+		}
+	}
+}
+
+// genH2 touches database pages: a row header word (false-shared, rows
+// of different cores pack into the same page region) plus a 4-word
+// row body read, and a hot lock word per page group.
+func genH2(b *builder) {
+	iters := 500 * b.scale
+	const pages = 64
+	for c := 0; c < b.cores; c++ {
+		rng := b.rng(18000, c)
+		for i := 0; i < iters; i++ {
+			pg := rng.Intn(pages)
+			// Row header: word interleaved per core within the page's
+			// header region -> false sharing.
+			hdr := word(arena0, pg*b.cores*2+(c*2)%(b.cores*2))
+			b.load(c, hdr, 0x18000, 1)
+			if rng.Intn(100) < 40 {
+				b.store(c, hdr, 0x18010, 1)
+			}
+			// Row body in the core's own partition of the page arena.
+			body := arena1 + mem.Addr(c)*0x40000
+			off := (pg*64 + rng.Intn(8)*8) % 4096
+			for w := 0; w < 4; w++ {
+				b.load(c, word(body, off+w), 0x18020, 1)
+			}
+		}
+	}
+}
+
+// genTradebeans churns a private object graph with moderate locality
+// and almost no sharing.
+func genTradebeans(b *builder) {
+	iters := 600 * b.scale
+	const objects = 1024 // 4-word objects, private
+	for c := 0; c < b.cores; c++ {
+		rng := b.rng(19000, c)
+		base := arena1 + mem.Addr(c)*0x80000
+		for i := 0; i < iters; i++ {
+			o := rng.Intn(objects)
+			b.load(c, word(base, o*4), 0x19000, 1)
+			b.load(c, word(base, o*4+1), 0x19010, 1)
+			if i%4 == 3 {
+				b.store(c, word(base, o*4+2), 0x19020, 1)
+			}
+		}
+	}
+}
+
+// genJBB mixes irregular shared warehouse-object reads (2-3 words)
+// with private transaction logs.
+func genJBB(b *builder) {
+	iters := 600 * b.scale
+	const whWords = 1 << 14 // 128 KB: overflows a fixed-granularity L1
+	for c := 0; c < b.cores; c++ {
+		rng := b.rng(20000, c)
+		logBase := arena2 + mem.Addr(c)*0x80000
+		for i := 0; i < iters; i++ {
+			n := rng.Intn(whWords - 4)
+			ext := 2 + rng.Intn(2)
+			for w := 0; w < ext; w++ {
+				b.load(c, word(arena1, n+w), 0x20000, 1)
+			}
+			b.store(c, word(logBase, i%1024), 0x20010, 1)
+			if rng.Intn(100) < 10 {
+				b.store(c, word(arena1, n), 0x20020, 1)
+			}
+		}
+	}
+}
+
+// genParkd builds a k-D tree in phases: every core streams the shared
+// point set read-only, then writes its own contiguous slice of the
+// node array; slice boundaries false-share regions.
+func genParkd(b *builder) {
+	rounds := 4 * b.scale
+	const points = 2048
+	const nodesPerCore = 40
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < b.cores; c++ {
+			// Stream a slice of the shared points with full locality.
+			start := (c * points / b.cores)
+			for i := 0; i < points/b.cores; i++ {
+				b.load(c, word(arena1, start+i), 0x21000, 1)
+			}
+			// Write this round's node slice (unaligned boundaries).
+			nodeBase := (r*b.cores + c) * nodesPerCore
+			for i := 0; i < nodesPerCore; i++ {
+				b.store(c, word(arena2, (nodeBase+i)%(8*1024)), 0x21010, 1)
+			}
+		}
+		b.barrier()
+	}
+}

@@ -1,0 +1,172 @@
+// Package protozoa is a from-scratch reproduction of "Protozoa:
+// Adaptive Granularity Cache Coherence" (Zhao, Shriraman, Kumar,
+// Dwarkadas — ISCA 2013): a family of directory coherence protocols
+// that decouple storage/communication granularity from coherence
+// granularity over an Amoeba-Cache L1.
+//
+// The package is the public facade over the full simulator:
+//
+//   - Run simulates one workload of the built-in suite under one
+//     protocol and returns its measurements.
+//   - Collect runs the whole workload x protocol matrix and renders
+//     the paper's Figures 9-15 as text tables; CollectTable1 sweeps
+//     MESI block sizes for Table 1.
+//   - NewSystem gives direct access to the simulated machine for
+//     custom access streams (see examples/falsesharing).
+//
+// Quick start:
+//
+//	st, err := protozoa.Run("linear-regression", protozoa.ProtozoaMW, protozoa.DefaultOptions())
+//	if err != nil { ... }
+//	fmt.Printf("MPKI %.2f, traffic %d bytes\n", st.MPKI(), st.TrafficTotal())
+package protozoa
+
+import (
+	"protozoa/internal/core"
+	"protozoa/internal/harness"
+	"protozoa/internal/mem"
+	"protozoa/internal/profile"
+	"protozoa/internal/stats"
+	"protozoa/internal/trace"
+	"protozoa/internal/workloads"
+)
+
+// Protocol selects a member of the protocol family.
+type Protocol = core.Protocol
+
+// The protocol family, in the order the paper's figures use.
+const (
+	// MESI is the conventional fixed-granularity 4-hop directory baseline.
+	MESI = core.MESI
+	// ProtozoaSW adapts storage/communication granularity only.
+	ProtozoaSW = core.ProtozoaSW
+	// ProtozoaSWMR adds multiple non-overlapping readers beside one writer.
+	ProtozoaSWMR = core.ProtozoaSWMR
+	// ProtozoaMW allows multiple non-overlapping writers: word-granularity SWMR.
+	ProtozoaMW = core.ProtozoaMW
+)
+
+// Protocols returns the family in figure order.
+func Protocols() []Protocol { return core.AllProtocols }
+
+// Stats holds one run's measurements (miss rates, traffic breakdown,
+// flit-hops, execution cycles, distributions).
+type Stats = stats.Stats
+
+// Options sizes an experiment (cores, workload scale, subset).
+type Options = harness.Options
+
+// DefaultOptions is the paper's 16-core configuration.
+func DefaultOptions() Options { return harness.DefaultOptions() }
+
+// Run simulates one built-in workload under one protocol.
+func Run(workload string, p Protocol, o Options) (*Stats, error) {
+	return harness.Run(workload, p, o)
+}
+
+// WorkloadNames lists the built-in workload suite.
+func WorkloadNames() []string { return workloads.Names() }
+
+// Workload describes one member of the suite.
+type Workload struct {
+	Name   string // figure label
+	Models string // paper application it reproduces
+	Suite  string // paper benchmark suite
+	About  string // sharing/locality signature
+}
+
+// Workloads describes the full suite.
+func Workloads() []Workload {
+	var out []Workload
+	for _, s := range workloads.All() {
+		out = append(out, Workload{Name: s.Name, Models: s.Models, Suite: s.Suite, About: s.About})
+	}
+	return out
+}
+
+// Matrix holds the full workload x protocol result grid and renders
+// the paper's figures.
+type Matrix = harness.Matrix
+
+// Collect runs the full matrix for the Figure 9-15 reproductions.
+func Collect(o Options) (*Matrix, error) { return harness.Collect(o) }
+
+// Table1Result is the MESI block-size sweep.
+type Table1Result = harness.Table1Result
+
+// CollectTable1 sweeps MESI over 16/32/64/128-byte blocks (Table 1).
+func CollectTable1(o Options) (*Table1Result, error) { return harness.CollectTable1(o) }
+
+// --- direct machine access for custom traces -----------------------------
+
+// SystemConfig configures a simulated machine directly, including the
+// Section 6 extensions: ThreeHop direct forwarding, the bloom-filter
+// Directory, MergeL1Blocks Amoeba coalescing, and a finite
+// L2RegionsPerTile with inclusion recalls.
+type SystemConfig = core.Config
+
+// System is one assembled machine.
+type System = core.System
+
+// DirectoryKind selects precise or bloom-filter sharer tracking.
+type DirectoryKind = core.DirectoryKind
+
+// Directory kinds.
+const (
+	DirPrecise = core.DirPrecise
+	DirBloom   = core.DirBloom
+)
+
+// Checker is the Section 3.6 random-tester oracle: SWMR at the
+// protocol's granularity plus golden-value integrity.
+type Checker = core.Checker
+
+// NewChecker attaches a checker to a system as its observer.
+func NewChecker(sys *System) *Checker { return core.NewChecker(sys) }
+
+// DefaultSystemConfig is the paper's Table 4 machine for a protocol.
+func DefaultSystemConfig(p Protocol) SystemConfig { return core.DefaultConfig(p) }
+
+// NewSystem builds a machine running the given per-core streams.
+func NewSystem(cfg SystemConfig, streams []Stream) (*System, error) {
+	return core.NewSystem(cfg, streams)
+}
+
+// Access is one trace record; Stream produces a core's records.
+type (
+	Access = trace.Access
+	Stream = trace.Stream
+)
+
+// Trace record kinds.
+const (
+	Load    = trace.Load
+	Store   = trace.Store
+	Barrier = trace.Barrier
+)
+
+// NewSliceStream adapts a record slice to a Stream.
+func NewSliceStream(recs []Access) Stream { return trace.NewSliceStream(recs) }
+
+// Addr is a byte address in the simulated physical address space.
+type Addr = mem.Addr
+
+// SharingProfile is the Section 2 trace-level analysis: per-region
+// sharing classification and spatial footprint.
+type SharingProfile = profile.Report
+
+// Profile analyzes a built-in workload's access streams without
+// simulating a machine (cmd/protozoa-profile's engine).
+func Profile(workload string, cores, scale int) (*SharingProfile, error) {
+	spec, err := workloads.Get(workload)
+	if err != nil {
+		return nil, err
+	}
+	return profile.Analyze(spec.Streams(cores, scale), mem.DefaultGeometry), nil
+}
+
+// EnergyModel converts a run's event counts into dynamic energy.
+type EnergyModel = stats.EnergyModel
+
+// DefaultEnergyModel returns representative per-event coefficients.
+func DefaultEnergyModel() EnergyModel { return stats.DefaultEnergyModel() }
