@@ -137,6 +137,30 @@ func TestCLIs(t *testing.T) {
 		}
 	})
 
+	t.Run("sweep-parallel-deterministic", func(t *testing.T) {
+		// 2 workloads x 4 protocols x 3 regions = 24 cells; stdout must
+		// be byte-identical at any -jobs width. "all,mesi" also pins the
+		// duplicate-protocol fix: MESI must not be simulated twice.
+		grid := []string{"-workloads", "swaptions,histogram", "-protocols", "all,mesi",
+			"-regions", "32,64,128", "-cores", "4"}
+		stdout := func(jobs string) string {
+			cmd := exec.Command(bin("protozoa-sweep"), append(grid, "-jobs", jobs)...)
+			out, err := cmd.Output()
+			if err != nil {
+				t.Fatalf("sweep -jobs %s: %v", jobs, err)
+			}
+			return string(out)
+		}
+		serial := stdout("1")
+		parallel := stdout("8")
+		if serial != parallel {
+			t.Errorf("sweep CSV differs between -jobs 1 and -jobs 8:\n%s\n---\n%s", serial, parallel)
+		}
+		if n := strings.Count(serial, "\n"); n != 25 { // header + 24 rows, no duplicated MESI
+			t.Errorf("sweep grid emitted %d lines, want 25:\n%s", n, serial)
+		}
+	})
+
 	t.Run("report", func(t *testing.T) {
 		out := run(t, bin("protozoa-report"), "-cores", "4", "-scale", "1", "-workloads", "swaptions")
 		if !strings.Contains(out, "# Protozoa reproduction report") ||

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"protozoa"
@@ -26,6 +27,8 @@ func main() {
 	csvOut := flag.String("csv", "", "also export all metrics to this CSV file")
 	chart := flag.Bool("chart", false, "render bar charts instead of tables (figures 9, 13, 15)")
 	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent matrix cells (figures are identical at any setting)")
+	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
 	flag.Parse()
 
 	if *fig != 0 && (*fig < 9 || *fig > 16) {
@@ -33,7 +36,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	o := protozoa.Options{Cores: *cores, Scale: *scale, TraceSeed: *seed}
+	o := protozoa.Options{Cores: *cores, Scale: *scale, TraceSeed: *seed, Jobs: *jobs}
+	if *progress {
+		o.Progress = os.Stderr
+	}
 	if *subset != "" {
 		o.Workloads = strings.Split(*subset, ",")
 	}

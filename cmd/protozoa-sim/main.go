@@ -18,6 +18,7 @@ import (
 	"protozoa/internal/core"
 	"protozoa/internal/engine"
 	"protozoa/internal/harness"
+	"protozoa/internal/runner"
 	"protozoa/internal/workloads"
 )
 
@@ -94,17 +95,8 @@ func runInstrumented(workload string, p protozoa.Protocol, cores, scale, msglog,
 		return err
 	}
 	cfg := core.DefaultConfig(core.Protocol(p))
-	cfg.Cores = cores
-	switch cores {
-	case 16:
-	case 4:
-		cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
-	case 2:
-		cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
-	case 1:
-		cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
-	default:
-		return fmt.Errorf("cores must be 1, 2, 4, or 16")
+	if err := runner.ConfigureCores(&cfg, cores); err != nil {
+		return err
 	}
 	sys, err := core.NewSystem(cfg, spec.Streams(cores, scale))
 	if err != nil {

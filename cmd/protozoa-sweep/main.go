@@ -1,141 +1,84 @@
 // protozoa-sweep runs a grid of configurations — protocols x workloads
-// x design knobs — and emits one CSV row per cell: the generic engine
-// behind the ablation studies.
+// x design knobs x region sizes — and emits one CSV row per cell: the
+// generic engine behind the ablation studies. The grid fans out over
+// internal/runner's worker pool; output is byte-identical at any -jobs
+// setting, and a failing cell is reported on stderr while every
+// completed cell's row is still written.
 //
 // Usage:
 //
 //	protozoa-sweep -workloads histogram,barnes -protocols mesi,mw
 //	protozoa-sweep -knobs threehop,bloom -protocols mw -workloads barnes
-//	protozoa-sweep -regions 32,64,128 -protocols mw -workloads histogram
+//	protozoa-sweep -regions 32,64,128 -protocols mw -jobs 8 -progress
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"runtime"
 	"strings"
 
-	"protozoa/internal/core"
-	"protozoa/internal/noc"
-	"protozoa/internal/workloads"
+	"protozoa/internal/runner"
 )
-
-var knobSetters = map[string]func(*core.Config){
-	"baseline":     func(*core.Config) {},
-	"threehop":     func(c *core.Config) { c.ThreeHop = true },
-	"bloom":        func(c *core.Config) { c.Directory = core.DirBloom },
-	"merge":        func(c *core.Config) { c.MergeL1Blocks = true },
-	"noninclusive": func(c *core.Config) { c.NonInclusiveL2 = true },
-	"contention":   func(c *core.Config) { c.Noc.ModelContention = true },
-	"ring":         func(c *core.Config) { c.Noc.Topology = noc.TopoRing },
-	"crossbar":     func(c *core.Config) { c.Noc.Topology = noc.TopoCrossbar },
-}
-
-func parseProtocols(s string) ([]core.Protocol, error) {
-	var out []core.Protocol
-	for _, tok := range strings.Split(s, ",") {
-		switch strings.ToLower(strings.TrimSpace(tok)) {
-		case "mesi":
-			out = append(out, core.MESI)
-		case "sw":
-			out = append(out, core.ProtozoaSW)
-		case "swmr", "sw+mr":
-			out = append(out, core.ProtozoaSWMR)
-		case "mw":
-			out = append(out, core.ProtozoaMW)
-		case "all":
-			out = append(out, core.AllProtocols...)
-		default:
-			return nil, fmt.Errorf("unknown protocol %q", tok)
-		}
-	}
-	return out, nil
-}
 
 func main() {
 	wls := flag.String("workloads", "linear-regression,histogram", "comma-separated workloads")
 	protos := flag.String("protocols", "all", "comma-separated protocols (mesi, sw, swmr, mw, all)")
-	knobs := flag.String("knobs", "baseline", "comma-separated design knobs: baseline, threehop, bloom, merge, noninclusive, contention, ring, crossbar")
+	knobs := flag.String("knobs", "baseline", "comma-separated design knobs: "+strings.Join(runner.KnobNames(), ", "))
 	regions := flag.String("regions", "64", "comma-separated RMAX region sizes")
 	cores := flag.Int("cores", 16, "cores (1, 2, 4, or 16)")
 	scale := flag.Int("scale", 1, "workload scale")
+	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells (CSV order and content are identical at any setting)")
+	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
 	flag.Parse()
 
-	ps, err := parseProtocols(*protos)
+	ps, err := runner.ParseProtocols(*protos)
 	if err != nil {
 		fail(err)
 	}
-	var regionSizes []int
-	for _, tok := range strings.Split(*regions, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(tok))
-		if err != nil {
-			fail(fmt.Errorf("bad region size %q", tok))
-		}
-		regionSizes = append(regionSizes, v)
+	regionSizes, err := runner.ParseRegions(*regions)
+	if err != nil {
+		fail(err)
 	}
-	knobList := strings.Split(*knobs, ",")
-	for _, k := range knobList {
-		if _, ok := knobSetters[strings.TrimSpace(k)]; !ok {
-			fail(fmt.Errorf("unknown knob %q", k))
-		}
+	knobList, err := runner.ParseKnobs(*knobs)
+	if err != nil {
+		fail(err)
 	}
 
-	w := csv.NewWriter(os.Stdout)
-	w.Write([]string{
-		"workload", "protocol", "knob", "region_bytes",
-		"misses", "mpki", "traffic_bytes", "used_pct", "flit_hops", "exec_cycles",
-	})
-	for _, wlName := range strings.Split(*wls, ",") {
-		wlName = strings.TrimSpace(wlName)
-		spec, err := workloads.Get(wlName)
-		if err != nil {
-			fail(err)
-		}
-		for _, p := range ps {
-			for _, knob := range knobList {
-				knob = strings.TrimSpace(knob)
-				for _, rb := range regionSizes {
-					cfg := core.DefaultConfig(p)
-					cfg.Cores = *cores
-					cfg.RegionBytes = rb
-					switch *cores {
-					case 16:
-					case 4:
-						cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
-					case 2:
-						cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
-					case 1:
-						cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
-					default:
-						fail(fmt.Errorf("cores must be 1, 2, 4, or 16"))
-					}
-					knobSetters[knob](&cfg)
-					sys, err := core.NewSystem(cfg, spec.Streams(*cores, *scale))
-					if err != nil {
-						fail(err)
-					}
-					if err := sys.Run(); err != nil {
-						fail(fmt.Errorf("%s/%s/%s: %w", wlName, p, knob, err))
-					}
-					st := sys.Stats()
-					w.Write([]string{
-						wlName, p.String(), knob, strconv.Itoa(rb),
-						strconv.FormatUint(st.L1Misses, 10),
-						strconv.FormatFloat(st.MPKI(), 'f', 3, 64),
-						strconv.FormatUint(st.TrafficTotal(), 10),
-						strconv.FormatFloat(st.UsedPct(), 'f', 1, 64),
-						strconv.FormatUint(st.FlitHops, 10),
-						strconv.FormatUint(st.ExecCycles, 10),
-					})
-				}
-			}
+	cells, err := runner.Grid{
+		Workloads: strings.Split(*wls, ","),
+		Protocols: ps,
+		Knobs:     knobList,
+		Regions:   regionSizes,
+		Cores:     *cores,
+		Scale:     *scale,
+		TraceSeed: *seed,
+	}.Cells()
+	if err != nil {
+		fail(err)
+	}
+
+	pool := runner.Pool{Jobs: *jobs}
+	if *progress {
+		pool.Progress = os.Stderr
+	}
+	results, sum := pool.Run(cells)
+
+	// Completed rows always reach stdout, even when other cells failed.
+	if err := runner.WriteCSV(os.Stdout, results); err != nil {
+		fail(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, "protozoa-sweep:", r.Err)
 		}
 	}
-	w.Flush()
-	if err := w.Error(); err != nil {
-		fail(err)
+	if sum.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "protozoa-sweep: %d of %d cells failed; completed rows were still written\n",
+			sum.Failed, sum.Cells)
+		os.Exit(1)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"protozoa"
@@ -21,9 +22,14 @@ func main() {
 	scale := flag.Int("scale", 2, "workload iteration multiplier")
 	subset := flag.String("workloads", "", "comma-separated workload subset (default: all)")
 	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells (the table is identical at any setting)")
+	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
 	flag.Parse()
 
-	o := protozoa.Options{Cores: *cores, Scale: *scale, TraceSeed: *seed}
+	o := protozoa.Options{Cores: *cores, Scale: *scale, TraceSeed: *seed, Jobs: *jobs}
+	if *progress {
+		o.Progress = os.Stderr
+	}
 	if *subset != "" {
 		o.Workloads = strings.Split(*subset, ",")
 	}

@@ -13,10 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"protozoa/internal/core"
 	"protozoa/internal/harness"
+	"protozoa/internal/runner"
 	"protozoa/internal/trace"
 	"protozoa/internal/workloads"
 )
@@ -118,19 +118,14 @@ func doInfo(path string) error {
 }
 
 func doRun(path, proto string) error {
-	var p core.Protocol
-	switch strings.ToLower(proto) {
-	case "mesi":
-		p = core.MESI
-	case "sw":
-		p = core.ProtozoaSW
-	case "swmr", "sw+mr":
-		p = core.ProtozoaSWMR
-	case "mw":
-		p = core.ProtozoaMW
-	default:
-		return fmt.Errorf("unknown protocol %q", proto)
+	ps, err := runner.ParseProtocols(proto)
+	if err != nil {
+		return err
 	}
+	if len(ps) != 1 {
+		return fmt.Errorf("-run replays under exactly one protocol, got %q", proto)
+	}
+	p := ps[0]
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -141,17 +136,8 @@ func doRun(path, proto string) error {
 		return err
 	}
 	cfg := core.DefaultConfig(p)
-	cfg.Cores = len(streams)
-	switch len(streams) {
-	case 16:
-	case 4:
-		cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
-	case 2:
-		cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
-	case 1:
-		cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
-	default:
-		return fmt.Errorf("trace has %d cores; supported: 1, 2, 4, 16", len(streams))
+	if err := runner.ConfigureCores(&cfg, len(streams)); err != nil {
+		return fmt.Errorf("trace has %d cores: %w", len(streams), err)
 	}
 	sys, err := core.NewSystem(cfg, streams)
 	if err != nil {

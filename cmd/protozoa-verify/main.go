@@ -2,7 +2,8 @@
 // 3.6) from the command line: seeded random access streams drive the
 // full machine while the checker validates the SWMR invariant at the
 // protocol's granularity and golden-value integrity of every cached
-// word and completed load.
+// word and completed load. The selected protocols verify concurrently
+// on internal/runner's pool; the report stays in protocol order.
 //
 // Usage:
 //
@@ -15,32 +16,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
 
 	"protozoa/internal/core"
 	"protozoa/internal/mem"
+	"protozoa/internal/runner"
 	"protozoa/internal/trace"
 )
 
-func protocols(sel string) ([]core.Protocol, error) {
-	if sel == "all" {
-		return core.AllProtocols, nil
-	}
-	switch strings.ToLower(sel) {
-	case "mesi":
-		return []core.Protocol{core.MESI}, nil
-	case "sw":
-		return []core.Protocol{core.ProtozoaSW}, nil
-	case "swmr", "sw+mr":
-		return []core.Protocol{core.ProtozoaSWMR}, nil
-	case "mw":
-		return []core.Protocol{core.ProtozoaMW}, nil
-	}
-	return nil, fmt.Errorf("unknown protocol %q", sel)
-}
-
 func main() {
-	proto := flag.String("protocol", "all", "protocol to verify: mesi, sw, swmr, mw, all")
+	proto := flag.String("protocol", "all", "protocols to verify: mesi, sw, swmr, mw, all (comma-separated)")
 	accesses := flag.Int("accesses", 1_000_000, "total accesses across all selected protocols")
 	cores := flag.Int("cores", 16, "cores (1, 2, 4, or 16)")
 	regions := flag.Int("regions", 16, "regions in the contended pool")
@@ -49,68 +34,74 @@ func main() {
 	threeHop := flag.Bool("threehop", false, "enable 3-hop forwarding")
 	bloom := flag.Bool("bloom", false, "use the bloom-filter directory")
 	l2cap := flag.Int("l2cap", 0, "L2 regions per tile (0 = unbounded)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent protocol runs")
+	progress := flag.Bool("progress", false, "stream per-protocol wall-time/event-count lines and a summary to stderr")
 	flag.Parse()
 
-	ps, err := protocols(*proto)
+	ps, err := runner.ParseProtocols(*proto)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "protozoa-verify:", err)
 		os.Exit(1)
 	}
 	perCore := *accesses / (len(ps) * *cores)
-	failed := false
-	for _, p := range ps {
-		cfg := core.DefaultConfig(p)
-		cfg.Cores = *cores
-		cfg.ThreeHop = *threeHop
-		cfg.L2RegionsPerTile = *l2cap
-		if *bloom {
-			cfg.Directory = core.DirBloom
-		}
-		switch *cores {
-		case 16:
-		case 4:
-			cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
-		case 2:
-			cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
-		case 1:
-			cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
-		default:
-			fmt.Fprintln(os.Stderr, "protozoa-verify: cores must be 1, 2, 4, or 16")
-			os.Exit(1)
-		}
 
-		streams := make([]trace.Stream, *cores)
-		for c := 0; c < *cores; c++ {
-			rng := trace.NewRNG(*seed*1000 + uint64(c))
-			recs := make([]trace.Access, 0, perCore)
-			for i := 0; i < perCore; i++ {
-				addr := mem.Addr(rng.Intn(*regions)*64 + rng.Intn(8)*8)
-				kind := trace.Load
-				if rng.Intn(100) < *storePct {
-					kind = trace.Store
+	cells := make([]runner.Cell, len(ps))
+	chks := make([]*core.Checker, len(ps))
+	for i, p := range ps {
+		cells[i] = runner.Cell{
+			Label:    p.String(),
+			Protocol: p,
+			Build: func() (*core.System, error) {
+				cfg := core.DefaultConfig(p)
+				cfg.ThreeHop = *threeHop
+				cfg.L2RegionsPerTile = *l2cap
+				if *bloom {
+					cfg.Directory = core.DirBloom
 				}
-				recs = append(recs, trace.Access{Kind: kind, Addr: addr, PC: uint64(0x400 + rng.Intn(8)*4)})
-			}
-			streams[c] = trace.NewSliceStream(recs)
+				if err := runner.ConfigureCores(&cfg, *cores); err != nil {
+					return nil, err
+				}
+				streams := make([]trace.Stream, *cores)
+				for c := 0; c < *cores; c++ {
+					rng := trace.NewRNG(*seed*1000 + uint64(c))
+					recs := make([]trace.Access, 0, perCore)
+					for j := 0; j < perCore; j++ {
+						addr := mem.Addr(rng.Intn(*regions)*64 + rng.Intn(8)*8)
+						kind := trace.Load
+						if rng.Intn(100) < *storePct {
+							kind = trace.Store
+						}
+						recs = append(recs, trace.Access{Kind: kind, Addr: addr, PC: uint64(0x400 + rng.Intn(8)*4)})
+					}
+					streams[c] = trace.NewSliceStream(recs)
+				}
+				return core.NewSystem(cfg, streams)
+			},
+			Observe: func(sys *core.System) { chks[i] = core.NewChecker(sys) },
 		}
-		sys, err := core.NewSystem(cfg, streams)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "protozoa-verify:", err)
-			os.Exit(1)
-		}
-		chk := core.NewChecker(sys)
-		if err := sys.Run(); err != nil {
-			fmt.Fprintf(os.Stderr, "protozoa-verify: %s: %v\n", p, err)
+	}
+
+	pool := runner.Pool{Jobs: *jobs}
+	if *progress {
+		pool.Progress = os.Stderr
+	}
+	results, _ := pool.Run(cells)
+
+	failed := false
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "protozoa-verify: %v\n", r.Err)
 			failed = true
 			continue
 		}
+		chk := chks[i]
 		status := "OK"
 		if chk.Err() != nil {
 			status = "FAIL"
 			failed = true
 		}
 		fmt.Printf("%-15s %8d accesses  %8d loads checked  %8d quiescent scans  %s\n",
-			p, sys.Stats().Accesses, chk.Loads, chk.Checks, status)
+			ps[i], r.Stats.Accesses, chk.Loads, chk.Checks, status)
 		for _, v := range chk.Violations() {
 			fmt.Printf("  violation: %s\n", v)
 		}

@@ -8,9 +8,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"protozoa/internal/core"
+	"protozoa/internal/runner"
 	"protozoa/internal/stats"
 	"protozoa/internal/workloads"
 )
@@ -22,7 +25,17 @@ type Options struct {
 	Workloads []string // nil = the full suite
 	MaxEvents uint64   // watchdog; 0 = derived from workload size
 	TraceSeed uint64   // trace-randomization seed (0 = canonical streams)
+
+	// Jobs bounds how many matrix cells Collect/CollectTable1 simulate
+	// concurrently (<=0 = GOMAXPROCS). Results are identical at any
+	// setting: each cell owns its engine and stats.
+	Jobs int
+	// Progress, when non-nil, receives per-cell completion lines and
+	// an aggregate summary from the runner.
+	Progress io.Writer
 }
+
+func (o Options) pool() runner.Pool { return runner.Pool{Jobs: o.Jobs, Progress: o.Progress} }
 
 // DefaultOptions is the paper's 16-core configuration at a scale that
 // finishes the full matrix in tens of seconds.
@@ -37,8 +50,8 @@ func (o Options) workloadList() []string {
 	return workloads.Names()
 }
 
-// Run simulates one workload under one protocol and returns its stats.
-func Run(workload string, p core.Protocol, o Options) (*stats.Stats, error) {
+// buildSystem assembles the machine for one matrix cell.
+func buildSystem(workload string, p core.Protocol, o Options) (*core.System, error) {
 	spec, err := workloads.Get(workload)
 	if err != nil {
 		return nil, err
@@ -47,24 +60,19 @@ func Run(workload string, p core.Protocol, o Options) (*stats.Stats, error) {
 		o.Cores = 16
 	}
 	cfg := core.DefaultConfig(p)
-	cfg.Cores = o.Cores
 	cfg.MaxEvents = o.MaxEvents
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 200_000_000
 	}
-	switch o.Cores {
-	case 16:
-		// default 4x4 mesh
-	case 4:
-		cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
-	case 2:
-		cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
-	case 1:
-		cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
-	default:
-		return nil, fmt.Errorf("harness: unsupported core count %d", o.Cores)
+	if err := runner.ConfigureCores(&cfg, o.Cores); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
-	sys, err := core.NewSystem(cfg, spec.StreamsSeeded(o.Cores, o.Scale, o.TraceSeed))
+	return core.NewSystem(cfg, spec.StreamsSeeded(o.Cores, o.Scale, o.TraceSeed))
+}
+
+// Run simulates one workload under one protocol and returns its stats.
+func Run(workload string, p core.Protocol, o Options) (*stats.Stats, error) {
+	sys, err := buildSystem(workload, p, o)
 	if err != nil {
 		return nil, err
 	}
@@ -82,22 +90,43 @@ type Matrix struct {
 	Cells     map[string]map[core.Protocol]*stats.Stats
 }
 
-// Collect runs the full workload x protocol matrix.
+// Collect runs the full workload x protocol matrix, fanning the cells
+// out over Options.Jobs workers. All cells run even if some fail; the
+// joined error then reports every failing cell at once.
 func Collect(o Options) (*Matrix, error) {
 	m := &Matrix{
 		Workloads: o.workloadList(),
 		Protocols: core.AllProtocols,
 		Cells:     make(map[string]map[core.Protocol]*stats.Stats),
 	}
+	var cells []runner.Cell
+	for _, w := range m.Workloads {
+		for _, p := range m.Protocols {
+			cells = append(cells, runner.Cell{
+				Label:    w + "/" + p.String(),
+				Workload: w,
+				Protocol: p,
+				Build:    func() (*core.System, error) { return buildSystem(w, p, o) },
+			})
+		}
+	}
+	results, _ := o.pool().Run(cells)
+	var errs []error
+	i := 0
 	for _, w := range m.Workloads {
 		m.Cells[w] = make(map[core.Protocol]*stats.Stats)
 		for _, p := range m.Protocols {
-			st, err := Run(w, p, o)
-			if err != nil {
-				return nil, err
+			r := results[i]
+			i++
+			if r.Err != nil {
+				errs = append(errs, r.Err)
+				continue
 			}
-			m.Cells[w][p] = st
+			m.Cells[w][p] = r.Stats
 		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("harness: %w", errors.Join(errs...))
 	}
 	return m, nil
 }

@@ -7,6 +7,7 @@ import (
 	"protozoa/internal/core"
 	"protozoa/internal/mem"
 	"protozoa/internal/profile"
+	"protozoa/internal/runner"
 	"protozoa/internal/stats"
 	"protozoa/internal/trace"
 	"protozoa/internal/workloads"
@@ -102,17 +103,8 @@ func GenerateReport(o Options, w io.Writer) error {
 // and returns the validated load and scan counts.
 func verifyProtocol(p core.Protocol, cores int) (loads, checks int, err error) {
 	cfg := core.DefaultConfig(p)
-	cfg.Cores = cores
-	switch cores {
-	case 16:
-	case 4:
-		cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
-	case 2:
-		cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
-	case 1:
-		cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
-	default:
-		return 0, 0, fmt.Errorf("harness: unsupported core count %d", cores)
+	if err := runner.ConfigureCores(&cfg, cores); err != nil {
+		return 0, 0, fmt.Errorf("harness: %w", err)
 	}
 	streams := make([]trace.Stream, cores)
 	for c := 0; c < cores; c++ {

@@ -1,11 +1,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"protozoa/internal/core"
-	"protozoa/internal/stats"
+	"protozoa/internal/runner"
 	"protozoa/internal/workloads"
 )
 
@@ -26,26 +27,48 @@ type Table1Result struct {
 	Cells     map[string]map[int]Table1Cell // workload -> block size
 }
 
-// CollectTable1 sweeps MESI across the four block sizes.
+// CollectTable1 sweeps MESI across the four block sizes, fanning the
+// workload x block-size cells out over Options.Jobs workers.
 func CollectTable1(o Options) (*Table1Result, error) {
 	res := &Table1Result{
 		Workloads: o.workloadList(),
 		Cells:     make(map[string]map[int]Table1Cell),
 	}
+	var cells []runner.Cell
+	for _, w := range res.Workloads {
+		for _, bs := range BlockSizes {
+			cells = append(cells, runner.Cell{
+				Label:    fmt.Sprintf("table1 %s@%dB", w, bs),
+				Workload: w,
+				Protocol: core.MESI,
+				Region:   bs,
+				Build:    func() (*core.System, error) { return buildMESIWithBlock(w, bs, o) },
+			})
+		}
+	}
+	results, _ := o.pool().Run(cells)
+	var errs []error
+	i := 0
 	for _, w := range res.Workloads {
 		res.Cells[w] = make(map[int]Table1Cell)
 		for _, bs := range BlockSizes {
-			st, err := runMESIWithBlock(w, bs, o)
-			if err != nil {
-				return nil, err
+			r := results[i]
+			i++
+			if r.Err != nil {
+				errs = append(errs, r.Err)
+				continue
 			}
+			st := r.Stats
 			res.Cells[w][bs] = Table1Cell{MPKI: st.MPKI(), Inv: st.Invalidations, UsedPct: st.UsedPct()}
 		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("harness: %w", errors.Join(errs...))
 	}
 	return res, nil
 }
 
-func runMESIWithBlock(workload string, blockBytes int, o Options) (*stats.Stats, error) {
+func buildMESIWithBlock(workload string, blockBytes int, o Options) (*core.System, error) {
 	spec, err := workloads.Get(workload)
 	if err != nil {
 		return nil, err
@@ -54,31 +77,15 @@ func runMESIWithBlock(workload string, blockBytes int, o Options) (*stats.Stats,
 		o.Cores = 16
 	}
 	cfg := core.DefaultConfig(core.MESI)
-	cfg.Cores = o.Cores
 	cfg.RegionBytes = blockBytes
 	cfg.MaxEvents = o.MaxEvents
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 200_000_000
 	}
-	switch o.Cores {
-	case 16:
-	case 4:
-		cfg.Noc.DimX, cfg.Noc.DimY = 2, 2
-	case 2:
-		cfg.Noc.DimX, cfg.Noc.DimY = 2, 1
-	case 1:
-		cfg.Noc.DimX, cfg.Noc.DimY = 1, 1
-	default:
-		return nil, fmt.Errorf("harness: unsupported core count %d", o.Cores)
+	if err := runner.ConfigureCores(&cfg, o.Cores); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
-	sys, err := core.NewSystem(cfg, spec.StreamsSeeded(o.Cores, o.Scale, o.TraceSeed))
-	if err != nil {
-		return nil, err
-	}
-	if err := sys.Run(); err != nil {
-		return nil, fmt.Errorf("harness: table1 %s@%dB: %w", workload, blockBytes, err)
-	}
-	return sys.Stats(), nil
+	return core.NewSystem(cfg, spec.StreamsSeeded(o.Cores, o.Scale, o.TraceSeed))
 }
 
 // trend classifies a metric change with the paper's Table 1 notation:

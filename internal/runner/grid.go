@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"protozoa/internal/core"
+	"protozoa/internal/workloads"
+)
+
+// Grid is the sweep cross product: workloads x protocols x design
+// knobs x RMAX region sizes, expanded in row order (workload
+// outermost, region innermost) — the order the CSV reports.
+type Grid struct {
+	Workloads []string
+	Protocols []core.Protocol // nil = the full family
+	Knobs     []string        // nil = baseline only
+	Regions   []int           // nil = the 64 B default
+	Cores     int             // 0 = 16
+	Scale     int             // 0 = 1
+	TraceSeed uint64          // 0 = canonical traces
+}
+
+// Cells validates the grid and expands it into runnable cells. Every
+// vocabulary error — unknown workload or knob, unsupported core count
+// — surfaces here, before any simulation runs.
+func (g Grid) Cells() ([]Cell, error) {
+	if g.Cores == 0 {
+		g.Cores = 16
+	}
+	if g.Scale == 0 {
+		g.Scale = 1
+	}
+	if len(g.Protocols) == 0 {
+		g.Protocols = core.AllProtocols
+	}
+	if len(g.Knobs) == 0 {
+		g.Knobs = []string{"baseline"}
+	}
+	if len(g.Regions) == 0 {
+		g.Regions = []int{64}
+	}
+	var scratch core.Config
+	if err := ConfigureCores(&scratch, g.Cores); err != nil {
+		return nil, err
+	}
+	for _, k := range g.Knobs {
+		if _, ok := Knobs[k]; !ok {
+			return nil, fmt.Errorf("unknown knob %q", k)
+		}
+	}
+
+	var cells []Cell
+	for _, w := range g.Workloads {
+		spec, err := workloads.Get(strings.TrimSpace(w))
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range g.Protocols {
+			for _, knob := range g.Knobs {
+				set := Knobs[knob]
+				for _, rb := range g.Regions {
+					cells = append(cells, Cell{
+						Label:    fmt.Sprintf("%s/%s/%s/r%d", spec.Name, p, knob, rb),
+						Workload: spec.Name,
+						Protocol: p,
+						Knob:     knob,
+						Region:   rb,
+						Build: func() (*core.System, error) {
+							cfg := core.DefaultConfig(p)
+							cfg.RegionBytes = rb
+							if err := ConfigureCores(&cfg, g.Cores); err != nil {
+								return nil, err
+							}
+							set(&cfg)
+							return core.NewSystem(cfg, spec.StreamsSeeded(g.Cores, g.Scale, g.TraceSeed))
+						},
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// CSVHeader is the sweep CSV schema.
+var CSVHeader = []string{
+	"workload", "protocol", "knob", "region_bytes",
+	"misses", "mpki", "traffic_bytes", "used_pct", "flit_hops", "exec_cycles",
+}
+
+// CSVRow renders one completed cell as a sweep CSV record.
+func CSVRow(r Result) []string {
+	st := r.Stats
+	return []string{
+		r.Cell.Workload, r.Cell.Protocol.String(), r.Cell.Knob, strconv.Itoa(r.Cell.Region),
+		strconv.FormatUint(st.L1Misses, 10),
+		strconv.FormatFloat(st.MPKI(), 'f', 3, 64),
+		strconv.FormatUint(st.TrafficTotal(), 10),
+		strconv.FormatFloat(st.UsedPct(), 'f', 1, 64),
+		strconv.FormatUint(st.FlitHops, 10),
+		strconv.FormatUint(st.ExecCycles, 10),
+	}
+}
+
+// WriteCSV emits the header and every completed cell's row in cell
+// order, flushing before returning so finished rows survive even when
+// other cells failed (the caller reports those separately).
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil || r.Stats == nil {
+			continue
+		}
+		if err := cw.Write(CSVRow(r)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,162 @@
+// Package runner fans a grid of independent simulation cells out over
+// a bounded worker pool.
+//
+// Each cell owns a complete core.System — its own event engine, stats
+// block, and workload streams — so cells share no mutable state and a
+// grid's results are bit-identical at any worker count; only the wall
+// time changes. Results come back in cell order regardless of
+// completion order, and a failing cell records its error in its own
+// result slot instead of aborting the process, so one bad
+// configuration cannot discard the rest of the grid's output.
+//
+// The package also owns the grid vocabulary the drivers share:
+// protocol/knob/region parsing (see parse.go), the sweep cross
+// product, and its CSV schema (see grid.go).
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"protozoa/internal/core"
+	"protozoa/internal/stats"
+)
+
+// Cell is one simulation to run: a labelled constructor for a fresh
+// machine plus the grid coordinates drivers report rows under.
+type Cell struct {
+	Label string // progress/error identifier, e.g. "histogram/MESI/baseline/r64"
+
+	// Grid coordinates; drivers that don't sweep a dimension leave it zero.
+	Workload string
+	Protocol core.Protocol
+	Knob     string
+	Region   int
+
+	// Build constructs the cell's machine. It runs on a worker
+	// goroutine and must return a system no other cell touches.
+	Build func() (*core.System, error)
+
+	// Observe, when non-nil, runs between Build and the simulation —
+	// the hook drivers use to attach a core.Checker.
+	Observe func(*core.System)
+}
+
+// Result is one cell's outcome, delivered in the slot matching the
+// cell's index regardless of completion order.
+type Result struct {
+	Index  int
+	Cell   Cell
+	Stats  *stats.Stats  // nil when Err != nil
+	Err    error         // build or simulation failure, wrapped with the label
+	Events uint64        // events the cell's engine processed
+	Wall   time.Duration // wall-clock time the cell took
+}
+
+// Summary aggregates one pool run.
+type Summary struct {
+	Cells     int           // cells executed
+	Failed    int           // cells that returned an error
+	Jobs      int           // worker-pool width actually used
+	Events    uint64        // engine events across all cells
+	SimCycles uint64        // simulated cycles across completed cells
+	Wall      time.Duration // wall-clock time for the whole grid
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d cells (%d failed), %d events, %d simulated cycles, %s wall on %d jobs",
+		s.Cells, s.Failed, s.Events, s.SimCycles, s.Wall.Round(time.Millisecond), s.Jobs)
+}
+
+// Pool executes cells on a bounded number of worker goroutines.
+type Pool struct {
+	Jobs     int       // concurrent workers; <=0 means GOMAXPROCS
+	Progress io.Writer // per-cell completion lines plus a summary; nil = silent
+}
+
+// Run executes every cell and returns the results in cell order, with
+// per-cell errors captured in place. It never aborts early: cells
+// after a failure still run, and the summary counts the failures.
+func (p Pool) Run(cells []Cell) ([]Result, Summary) {
+	start := time.Now()
+	results := make([]Result, len(cells))
+	jobs := p.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(cells) {
+		jobs = len(cells)
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards Progress interleaving and done
+		done int
+		idx  = make(chan int)
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := runCell(i, cells[i])
+				results[i] = r
+				if p.Progress != nil {
+					mu.Lock()
+					done++
+					status := "ok"
+					if r.Err != nil {
+						status = "FAIL: " + r.Err.Error()
+					}
+					fmt.Fprintf(p.Progress, "[%d/%d] %s: %s (%d events, %s)\n",
+						done, len(cells), r.Cell.Label, status, r.Events, r.Wall.Round(time.Millisecond))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	sum := Summary{Cells: len(cells), Jobs: jobs, Wall: time.Since(start)}
+	for _, r := range results {
+		sum.Events += r.Events
+		if r.Err != nil {
+			sum.Failed++
+		} else {
+			sum.SimCycles += r.Stats.ExecCycles
+		}
+	}
+	if p.Progress != nil {
+		fmt.Fprintln(p.Progress, sum)
+	}
+	return results, sum
+}
+
+func runCell(i int, c Cell) Result {
+	start := time.Now()
+	r := Result{Index: i, Cell: c}
+	sys, err := c.Build()
+	if err != nil {
+		r.Err = fmt.Errorf("%s: %w", c.Label, err)
+		r.Wall = time.Since(start)
+		return r
+	}
+	if c.Observe != nil {
+		c.Observe(sys)
+	}
+	if err := sys.Run(); err != nil {
+		r.Err = fmt.Errorf("%s: %w", c.Label, err)
+	} else {
+		r.Stats = sys.Stats()
+	}
+	r.Events = sys.Engine().Processed()
+	r.Wall = time.Since(start)
+	return r
+}

@@ -38,12 +38,43 @@ func TestMissLatencyPercentiles(t *testing.T) {
 	if p := s.MissLatencyP(50); p != 64 {
 		t.Errorf("p50 = %d, want 64", p)
 	}
-	if p := s.MissLatencyP(95); p != 512 {
-		t.Errorf("p95 = %d, want 512", p)
+	// Bucket 8's upper bound is 512, but no latency above 500 was ever
+	// recorded, so the bound clamps to the observed maximum.
+	if p := s.MissLatencyP(95); p != 500 {
+		t.Errorf("p95 = %d, want 500", p)
 	}
 	var empty Stats
 	if empty.MissLatencyP(50) != 0 || empty.AvgMissLatency() != 0 {
 		t.Error("empty stats percentile not zero")
+	}
+}
+
+func TestMissLatencyPercentileClamps(t *testing.T) {
+	tests := []struct {
+		name      string
+		latencies []uint64
+		p         float64
+		want      uint64
+	}{
+		{"zero-cycle", []uint64{0, 0, 0}, 100, 0},
+		{"one-cycle", []uint64{1, 1, 1}, 100, 1},
+		{"zero-and-one", []uint64{0, 1}, 50, 1},
+		{"single-mid-bucket", []uint64{5}, 100, 5},
+		{"mixed-small", []uint64{1, 5}, 50, 2},
+		{"overflow-bucket", []uint64{1<<23 + 10}, 100, 1<<23 + 10},
+		{"overflow-above-cap", []uint64{1<<24 + 5}, 100, 1 << 24},
+		{"mid-bucket-not-clamped", []uint64{40, 1000}, 50, 64},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Stats
+			for _, l := range tc.latencies {
+				s.RecordMissLatency(l)
+			}
+			if got := s.MissLatencyP(tc.p); got != tc.want {
+				t.Errorf("P%g(%v) = %d, want %d", tc.p, tc.latencies, got, tc.want)
+			}
+		})
 	}
 }
 

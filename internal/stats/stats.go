@@ -256,7 +256,9 @@ func (s *Stats) AvgMissLatency() float64 {
 }
 
 // MissLatencyP (p in (0,100]) approximates a latency percentile from
-// the log2 histogram (upper bound of the bucket containing it).
+// the log2 histogram: the upper bound of the bucket containing it,
+// clamped to the observed maximum so 0/1-cycle latencies and the
+// overflow bucket never report a bound above any recorded latency.
 func (s *Stats) MissLatencyP(p float64) uint64 {
 	var total uint64
 	for _, c := range s.MissLatencyHist {
@@ -273,7 +275,11 @@ func (s *Stats) MissLatencyP(p float64) uint64 {
 	for b, c := range s.MissLatencyHist {
 		cum += c
 		if cum >= threshold {
-			return 1 << uint(b+1)
+			bound := uint64(1) << uint(b+1)
+			if bound > s.MissLatencyMax {
+				bound = s.MissLatencyMax
+			}
+			return bound
 		}
 	}
 	return s.MissLatencyMax

@@ -53,7 +53,10 @@ func Protocols() []Protocol { return core.AllProtocols }
 // flit-hops, execution cycles, distributions).
 type Stats = stats.Stats
 
-// Options sizes an experiment (cores, workload scale, subset).
+// Options sizes an experiment (cores, workload scale, subset) and its
+// parallelism: Jobs bounds how many matrix cells simulate concurrently
+// (results are identical at any setting) and Progress optionally
+// streams per-cell completion lines.
 type Options = harness.Options
 
 // DefaultOptions is the paper's 16-core configuration.
