@@ -1,9 +1,20 @@
-# Tier-1 verify: build, vet, full tests, and a race pass over the
-# concurrency layer (the worker-pool runner and the event engine).
+# Tier-1 verify: build, vet, full tests, a race pass over the
+# concurrency layer (worker-pool runner, event engine) and the
+# simulator hot path (core protocol + cache storage), and a 1-iteration
+# benchmark smoke so throughput regressions that crash or deadlock are
+# caught before they reach a real benchmarking session.
 verify:
 	go build ./...
 	go vet ./...
 	go test ./...
 	go test -race ./internal/runner ./internal/engine
+	go test -race ./internal/core ./internal/cache
+	go test -run '^$$' -bench SimulatorThroughput -benchtime 1x .
 
-.PHONY: verify
+# bench runs the simulator throughput benchmark with allocation
+# accounting in a benchstat-friendly shape (-count 5). Compare against
+# the committed BENCH_2.json numbers after hot-path changes.
+bench:
+	go test -run '^$$' -bench SimulatorThroughput -benchmem -benchtime 2s -count 5 .
+
+.PHONY: verify bench

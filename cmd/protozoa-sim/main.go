@@ -45,6 +45,8 @@ func main() {
 	msglog := flag.Int("msglog", 0, "dump the last N coherence messages after the run")
 	jsonOut := flag.Bool("json", false, "emit the raw stats as JSON instead of the report")
 	timeline := flag.Int("timeline", 0, "sample the run every N cycles and print per-window rates")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *list {
@@ -63,14 +65,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
 		os.Exit(1)
 	}
+	stopProfiles, err := runner.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
+		os.Exit(1)
+	}
 	if *msglog > 0 || *timeline > 0 {
-		if err := runInstrumented(*workload, p, *cores, *scale, *msglog, *timeline); err != nil {
+		err := runInstrumented(*workload, p, *cores, *scale, *msglog, *timeline)
+		if perr := stopProfiles(); err == nil {
+			err = perr
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	st, err := protozoa.Run(*workload, p, protozoa.Options{Cores: *cores, Scale: *scale})
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
 		os.Exit(1)

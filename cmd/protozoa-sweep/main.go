@@ -32,7 +32,14 @@ func main() {
 	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells (CSV order and content are identical at any setting)")
 	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProfiles, err := runner.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
 
 	ps, err := runner.ParseProtocols(*protos)
 	if err != nil {
@@ -68,6 +75,9 @@ func main() {
 
 	// Completed rows always reach stdout, even when other cells failed.
 	if err := runner.WriteCSV(os.Stdout, results); err != nil {
+		fail(err)
+	}
+	if err := stopProfiles(); err != nil {
 		fail(err)
 	}
 	for _, r := range results {

@@ -1,0 +1,62 @@
+package protozoa_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"protozoa"
+	"protozoa/internal/engine"
+)
+
+// marshalRun executes one workload and returns its full marshaled
+// statistics — every counter, histogram, and derived figure — so two
+// runs can be compared byte for byte.
+func marshalRun(t *testing.T, workload string, p protozoa.Protocol) []byte {
+	t.Helper()
+	st, err := protozoa.Run(workload, p, protozoa.Options{Cores: 16, Scale: 1})
+	if err != nil {
+		t.Fatalf("%v on %s: %v", p, workload, err)
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal stats: %v", err)
+	}
+	return b
+}
+
+// TestRunDeterminism runs every protocol twice on the same workload
+// and requires bit-identical statistics: the simulator must be a pure
+// function of its inputs (the property the sweep's byte-identical-CSV
+// guarantee and all ablation comparisons rest on).
+func TestRunDeterminism(t *testing.T) {
+	for _, p := range protozoa.Protocols() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			a := marshalRun(t, "barnes", p)
+			b := marshalRun(t, "barnes", p)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("two identical runs produced different stats:\n%s\n---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestQueueImplementationsAgree runs the same simulations under the
+// bucketed event queue (default) and the reference binary heap
+// (PROTOZOA_EVENT_QUEUE=heap) and requires bit-identical statistics:
+// the bucketed queue must preserve the exact (cycle, sequence) total
+// order of the original heap.
+func TestQueueImplementationsAgree(t *testing.T) {
+	for _, p := range protozoa.Protocols() {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			bucketed := marshalRun(t, "barnes", p)
+			t.Setenv(engine.QueueEnvVar, "heap")
+			heap := marshalRun(t, "barnes", p)
+			if !bytes.Equal(bucketed, heap) {
+				t.Fatalf("bucketed and heap event queues diverge:\n%s\n---\n%s", bucketed, heap)
+			}
+		})
+	}
+}

@@ -114,6 +114,15 @@ type Cache struct {
 	cfg  Config
 	sets []set
 	tick uint64
+
+	// Reusable result buffers for the snoop-query methods, so the
+	// protocol hot path performs no per-query slice allocations. Each
+	// method documents that its result is valid only until its next
+	// call; the three are separate because a snoop holds an extraction
+	// result while issuing region queries.
+	regionScratch  []*Block // BlocksInRegion
+	extractScratch []Block  // ExtractOverlapping / ExtractRegion
+	victimScratch  []Block  // Insert
 }
 
 // New builds a cache. The set budget must fit at least one full-region
@@ -173,15 +182,17 @@ func (c *Cache) Peek(region mem.RegionID, w uint8) *Block {
 }
 
 // BlocksInRegion returns the resident blocks of a region (the CHECK
-// step of a multi-block snoop). The returned pointers stay valid until
-// the next mutation.
+// step of a multi-block snoop). The returned slice is reused by the
+// next BlocksInRegion call; the Block pointers themselves stay valid
+// until the next mutation.
 func (c *Cache) BlocksInRegion(region mem.RegionID) []*Block {
-	var out []*Block
+	out := c.regionScratch[:0]
 	for _, b := range c.setFor(region).blocks {
 		if b.Region == region {
 			out = append(out, b)
 		}
 	}
+	c.regionScratch = out
 	return out
 }
 
@@ -239,7 +250,7 @@ func (c *Cache) Insert(b Block) []Block {
 		}
 	}
 	cost := c.Cost(b.R)
-	var victims []Block
+	victims := c.victimScratch[:0]
 	for s.bytesUsed+cost > c.cfg.SetBudgetBytes {
 		v := c.evictLRU(s)
 		if v == nil {
@@ -247,6 +258,7 @@ func (c *Cache) Insert(b Block) []Block {
 		}
 		victims = append(victims, *v)
 	}
+	c.victimScratch = victims
 	c.tick++
 	nb := b
 	nb.lru = c.tick
@@ -316,9 +328,10 @@ func (c *Cache) evictLRU(s *set) *Block {
 // ExtractOverlapping removes and returns every resident block of the
 // region overlapping r: the CHECK + GATHER steps of Figure 3. The
 // protocol treats the gathered blocks as a single coherence operation.
+// The returned slice is reused by the next Extract* call.
 func (c *Cache) ExtractOverlapping(region mem.RegionID, r mem.Range) []Block {
 	s := c.setFor(region)
-	var out []Block
+	out := c.extractScratch[:0]
 	kept := s.blocks[:0]
 	for _, b := range s.blocks {
 		if b.Region == region && b.R.Overlaps(r) {
@@ -329,6 +342,7 @@ func (c *Cache) ExtractOverlapping(region mem.RegionID, r mem.Range) []Block {
 		}
 	}
 	s.blocks = kept
+	c.extractScratch = out
 	return out
 }
 

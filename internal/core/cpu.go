@@ -9,18 +9,77 @@ import (
 // think-instruction per cycle and blocks on L1 misses, so execution
 // time differences between protocols come from miss behaviour — the
 // same first-order model the paper's in-order configuration yields.
+//
+// Because the core is in-order it has at most one reference in flight,
+// so its scheduling state lives in two reusable event structs (think
+// delay, barrier resume) and a pending-access slot instead of
+// per-access closures — the hot path allocates nothing per reference.
 type cpu struct {
 	id       int
+	sys      *System
 	stream   trace.Stream
 	storeSeq uint64
 	done     bool
+
+	// pend is the access currently in flight (filled by step, consumed
+	// by issueAccess/complete); pendVal is the token a pending store
+	// writes.
+	pend    trace.Access
+	pendVal uint64
+
+	thinkEv cpuThink // fires after the access's think delay
+	stepEv  cpuStep  // resumes the stream (kickoff and barrier release)
 }
+
+// cpuThink advances a core past its think delay to the scheduled
+// access or barrier arrival.
+type cpuThink struct {
+	s *System
+	c *cpu
+}
+
+func (ev *cpuThink) Run() {
+	if ev.c.pend.Kind == trace.Barrier {
+		ev.s.arriveBarrier(ev.c)
+	} else {
+		ev.s.issueAccess(ev.c)
+	}
+}
+
+// cpuStep resumes a core's trace stream.
+type cpuStep struct {
+	s *System
+	c *cpu
+}
+
+func (ev *cpuStep) Run() { ev.s.step(ev.c) }
 
 // storeToken produces the unique value a store writes; the random
 // tester uses it to validate coherence end to end.
 func (c *cpu) storeToken() uint64 {
 	c.storeSeq++
 	return uint64(c.id+1)<<40 | c.storeSeq
+}
+
+// complete finishes the in-flight reference: fire the observer hooks
+// with the bound value and advance the stream. It implements the
+// completer interface the L1 invokes when an access resolves.
+func (c *cpu) complete(val uint64) {
+	s := c.sys
+	if s.obs != nil {
+		switch c.pend.Kind {
+		case trace.Store:
+			s.obs.OnStore(c.id, c.pend.Addr, c.pendVal)
+		case trace.RMW:
+			// Observed as both a load of the old value and a store of
+			// old+1 (atomic fetch-and-increment).
+			s.obs.OnLoad(c.id, c.pend.Addr, val)
+			s.obs.OnStore(c.id, c.pend.Addr, val+1)
+		default:
+			s.obs.OnLoad(c.id, c.pend.Addr, val)
+		}
+	}
+	s.step(c)
 }
 
 // step advances a core to its next trace record.
@@ -37,20 +96,20 @@ func (s *System) step(c *cpu) {
 		s.releaseBarrierIfReady()
 		return
 	}
-	think := engine.Cycle(a.Think)
+	c.pend = a
 	switch a.Kind {
 	case trace.Barrier:
 		s.st.Instructions += uint64(a.Think)
-		s.eng.Schedule(think, func() { s.arriveBarrier(c) })
 	case trace.Load, trace.Store, trace.RMW:
 		s.st.Instructions += uint64(a.Think) + 1
-		s.eng.Schedule(think, func() { s.issueAccess(c, a) })
 	default:
 		panic("core: unknown trace record kind")
 	}
+	s.eng.ScheduleRunner(engine.Cycle(a.Think), &c.thinkEv)
 }
 
-func (s *System) issueAccess(c *cpu, a trace.Access) {
+func (s *System) issueAccess(c *cpu) {
+	a := c.pend
 	s.st.Accesses++
 	cs := &s.st.PerCore[c.id]
 	cs.Accesses++
@@ -58,13 +117,8 @@ func (s *System) issueAccess(c *cpu, a trace.Access) {
 	case trace.Store:
 		s.st.Stores++
 		cs.Stores++
-		val := c.storeToken()
-		s.l1s[c.id].access(a.Addr, accWrite, a.PC, val, func(uint64) {
-			if s.obs != nil {
-				s.obs.OnStore(c.id, a.Addr, val)
-			}
-			s.step(c)
-		})
+		c.pendVal = c.storeToken()
+		s.l1s[c.id].access(a.Addr, accWrite, a.PC, c.pendVal, c)
 	case trace.RMW:
 		// Atomic fetch-and-increment: counted as a store (it acquires
 		// write permission) and observed as both a load of the old
@@ -72,22 +126,11 @@ func (s *System) issueAccess(c *cpu, a trace.Access) {
 		s.st.Stores++
 		s.st.RMWs++
 		cs.Stores++
-		s.l1s[c.id].access(a.Addr, accRMW, a.PC, 0, func(old uint64) {
-			if s.obs != nil {
-				s.obs.OnLoad(c.id, a.Addr, old)
-				s.obs.OnStore(c.id, a.Addr, old+1)
-			}
-			s.step(c)
-		})
+		s.l1s[c.id].access(a.Addr, accRMW, a.PC, 0, c)
 	default:
 		s.st.Loads++
 		cs.Loads++
-		s.l1s[c.id].access(a.Addr, accRead, a.PC, 0, func(loaded uint64) {
-			if s.obs != nil {
-				s.obs.OnLoad(c.id, a.Addr, loaded)
-			}
-			s.step(c)
-		})
+		s.l1s[c.id].access(a.Addr, accRead, a.PC, 0, c)
 	}
 }
 
@@ -97,7 +140,7 @@ func (s *System) issueAccess(c *cpu, a trace.Access) {
 // common barrier.
 func (s *System) arriveBarrier(c *cpu) {
 	s.barrierArrived++
-	s.barrierWait = append(s.barrierWait, func() { s.step(c) })
+	s.barrierWait = append(s.barrierWait, c)
 	s.releaseBarrierIfReady()
 }
 
@@ -106,10 +149,9 @@ func (s *System) releaseBarrierIfReady() {
 		return
 	}
 	waiters := s.barrierWait
-	s.barrierWait = nil
+	s.barrierWait = s.barrierWait[:0]
 	s.barrierArrived = 0
-	for _, resume := range waiters {
-		resume := resume
-		s.eng.Schedule(1, resume)
+	for _, c := range waiters {
+		s.eng.ScheduleRunner(1, &c.stepEv)
 	}
 }

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"protozoa/internal/mem"
 )
 
 // diagnose renders a stalled machine's state — the report attached to
@@ -23,33 +21,34 @@ func (s *System) diagnose() string {
 		}
 		fmt.Fprintf(&b, "  core %2d: %-7s", c.id, status)
 		l1 := s.l1s[c.id]
-		if len(l1.mshrs) == 0 {
+		if !l1.msLive {
 			fmt.Fprintf(&b, " no open MSHRs\n")
 			continue
 		}
-		var regions []string
-		for region, ms := range l1.mshrs {
-			kind := "GETS"
-			if ms.upgrade {
-				kind = "UPGRADE"
-			} else if ms.mode.write() {
-				kind = "GETX"
-			}
-			regions = append(regions, fmt.Sprintf("region %d %s [%s] since cycle %d",
-				region, kind, ms.want, ms.issuedAt))
+		ms := &l1.ms
+		kind := "GETS"
+		if ms.upgrade {
+			kind = "UPGRADE"
+		} else if ms.mode.write() {
+			kind = "GETX"
 		}
-		sort.Strings(regions)
-		fmt.Fprintf(&b, " MSHRs: %s\n", strings.Join(regions, "; "))
+		fmt.Fprintf(&b, " MSHR: region %d %s [%s] since cycle %d\n",
+			ms.region, kind, ms.want, ms.issuedAt)
 	}
 	busy := 0
 	for _, d := range s.dirs {
-		var regions []uint64
-		for region := range d.entries {
-			regions = append(regions, uint64(region))
+		var entries []*dirEntry
+		for _, e := range d.dense {
+			if e != nil {
+				entries = append(entries, e)
+			}
 		}
-		sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
-		for _, region := range regions {
-			e := d.entries[mem.RegionID(region)]
+		for _, e := range d.sparse {
+			entries = append(entries, e)
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].region < entries[j].region })
+		for _, e := range entries {
+			region := uint64(e.region)
 			if !e.busy {
 				continue
 			}

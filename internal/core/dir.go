@@ -17,9 +17,23 @@ import (
 // and spontaneous (eviction) writebacks are response-class messages
 // processed even while the region is busy.
 type dirSlice struct {
-	sys      *System
-	node     int
-	entries  map[mem.RegionID]*dirEntry
+	sys  *System
+	node int
+
+	// Entry table. Homes interleave regions low-order across tiles
+	// (home = region % cores), so region/cores is a dense, collision-free
+	// per-tile index: the hot path is one bounds check and a slice load
+	// instead of a map lookup. Regions beyond denseDirSlots (sparse
+	// gigantic address spaces in directed tests) fall back to a map.
+	dense  []*dirEntry
+	sparse map[mem.RegionID]*dirEntry // lazily allocated overflow
+	count  int                        // live entries across dense+sparse
+
+	// One-entry memo: coherence traffic is bursty per region (request,
+	// probes, replies, unblock all hit the same entry back to back).
+	lastRegion mem.RegionID
+	lastEntry  *dirEntry
+
 	touchSeq uint64
 	bloom    *bloomDir // non-nil when Config.Directory == DirBloom
 
@@ -27,6 +41,10 @@ type dirSlice struct {
 	// regions read as zero (fresh physical memory).
 	memory map[mem.RegionID][]uint64
 }
+
+// denseDirSlots caps the directly indexed entry table at 8 MiB of
+// pointers per tile; regions above it live in the sparse map.
+const denseDirSlots = 1 << 20
 
 // dirEntry is one region's directory entry plus its L2 data block.
 type dirEntry struct {
@@ -40,7 +58,8 @@ type dirEntry struct {
 	memTouched bool       // first-touch memory fetch already paid
 
 	busy           bool
-	txn            *dirTxn
+	txn            *dirTxn // nil when idle; points at txnStore when active
+	txnStore       dirTxn  // in-place transaction storage (no per-txn alloc)
 	queue          []*Msg
 	pendingUnblock bool   // 3-hop: requester unblocked before the probes retired
 	auditFrom      string // state at transaction activation (transition audit)
@@ -59,8 +78,7 @@ type dirTxn struct {
 func newDirSlice(sys *System, node int) *dirSlice {
 	d := &dirSlice{
 		sys: sys, node: node,
-		entries: make(map[mem.RegionID]*dirEntry),
-		memory:  make(map[mem.RegionID][]uint64),
+		memory: make(map[mem.RegionID][]uint64),
 	}
 	if sys.cfg.Directory == DirBloom {
 		hashes, buckets := sys.cfg.BloomHashes, sys.cfg.BloomBuckets
@@ -112,10 +130,67 @@ func (d *dirSlice) removeSharer(e *dirEntry, n int) {
 	}
 }
 
+// slot maps a region homed on this tile to its dense table index.
+func (d *dirSlice) slot(region mem.RegionID) uint64 {
+	return uint64(region) / uint64(d.sys.cfg.Cores)
+}
+
+// lookup returns the region's entry without creating it or touching
+// the LRU stamp (checker and scheduled-event paths).
+func (d *dirSlice) lookup(region mem.RegionID) *dirEntry {
+	if d.lastEntry != nil && d.lastRegion == region {
+		return d.lastEntry
+	}
+	var e *dirEntry
+	if idx := d.slot(region); idx < uint64(len(d.dense)) {
+		e = d.dense[idx]
+	} else if idx >= denseDirSlots {
+		e = d.sparse[region]
+	}
+	if e != nil {
+		d.lastRegion = region
+		d.lastEntry = e
+	}
+	return e
+}
+
+// mustEntry is lookup for scheduled transaction steps: the entry is
+// pinned by its busy/queued state, so absence is a protocol bug.
+func (d *dirSlice) mustEntry(region mem.RegionID) *dirEntry {
+	e := d.lookup(region)
+	if e == nil {
+		panic(fmt.Sprintf("core: dir %d lost entry for region %d mid-transaction", d.node, region))
+	}
+	return e
+}
+
+func (d *dirSlice) insert(region mem.RegionID, e *dirEntry) {
+	if idx := d.slot(region); idx < denseDirSlots {
+		if idx >= uint64(len(d.dense)) {
+			n := uint64(len(d.dense))*2 + 1
+			if n <= idx {
+				n = idx + 1
+			}
+			grown := make([]*dirEntry, n)
+			copy(grown, d.dense)
+			d.dense = grown
+		}
+		d.dense[idx] = e
+	} else {
+		if d.sparse == nil {
+			d.sparse = make(map[mem.RegionID]*dirEntry)
+		}
+		d.sparse[region] = e
+	}
+	d.count++
+	d.lastRegion = region
+	d.lastEntry = e
+}
+
 func (d *dirSlice) entry(region mem.RegionID) *dirEntry {
-	e, ok := d.entries[region]
-	if !ok {
-		if cap := d.sys.cfg.L2RegionsPerTile; cap > 0 && len(d.entries) >= cap {
+	e := d.lookup(region)
+	if e == nil {
+		if cap := d.sys.cfg.L2RegionsPerTile; cap > 0 && d.count >= cap {
 			d.evictLRURegion()
 		}
 		e = &dirEntry{
@@ -126,7 +201,7 @@ func (d *dirSlice) entry(region mem.RegionID) *dirEntry {
 		if saved, hit := d.memory[region]; hit {
 			copy(e.data, saved)
 		}
-		d.entries[region] = e
+		d.insert(region, e)
 	}
 	d.touchSeq++
 	e.touch = d.touchSeq
@@ -140,14 +215,20 @@ func (d *dirSlice) entry(region mem.RegionID) *dirEntry {
 // hardware MSHR-full stall resolved a few cycles later.
 func (d *dirSlice) evictLRURegion() {
 	var victim *dirEntry
-	for _, e := range d.entries {
-		if e.busy || len(e.queue) > 0 {
-			continue
+	consider := func(e *dirEntry) {
+		if e == nil || e.busy || len(e.queue) > 0 {
+			return
 		}
 		if victim == nil || e.touch < victim.touch ||
 			(e.touch == victim.touch && e.region < victim.region) {
 			victim = e
 		}
+	}
+	for _, e := range d.dense {
+		consider(e)
+	}
+	for _, e := range d.sparse {
+		consider(e)
 	}
 	if victim == nil {
 		return
@@ -160,17 +241,26 @@ func (d *dirSlice) evictLRURegion() {
 	}
 	victim.busy = true
 	d.sys.nextTxn++
-	victim.txn = &dirTxn{
+	req := d.sys.newMsg()
+	req.Type = MsgRecall
+	req.Dst = d.node
+	req.Region = victim.region
+	victim.txnStore = dirTxn{
 		id:      d.sys.nextTxn,
-		req:     &Msg{Type: MsgRecall, Region: victim.region},
+		req:     req,
 		waiting: targets.Count(),
 	}
+	victim.txn = &victim.txnStore
 	full := d.sys.geom.FullRange()
 	targets.ForEach(func(t int) {
-		d.sys.send(&Msg{
-			Type: MsgInv, Src: d.node, Dst: t,
-			Region: victim.region, R: full, TxnID: victim.txn.id,
-		})
+		inv := d.sys.newMsg()
+		inv.Type = MsgInv
+		inv.Src = d.node
+		inv.Dst = t
+		inv.Region = victim.region
+		inv.R = full
+		inv.TxnID = victim.txn.id
+		d.sys.send(inv)
 	})
 }
 
@@ -180,7 +270,15 @@ func (d *dirSlice) dropEntry(e *dirEntry) {
 		d.sys.st.MemWritebacks++
 		d.persistWords(e, e.valid)
 	}
-	delete(d.entries, e.region)
+	if idx := d.slot(e.region); idx < uint64(len(d.dense)) && d.dense[idx] == e {
+		d.dense[idx] = nil
+	} else {
+		delete(d.sparse, e.region)
+	}
+	d.count--
+	if d.lastEntry == e {
+		d.lastEntry = nil
+	}
 }
 
 // persistWords updates the memory image with the entry's words covered
@@ -245,7 +343,9 @@ func (d *dirSlice) activate(e *dirEntry, m *Msg) {
 		d.sys.st.MemReads++
 		lat += d.sys.cfg.MemLat
 	}
-	d.sys.eng.Schedule(lat, func() { d.process(e, m) })
+	m.sys = d.sys
+	m.phase = phaseProcess
+	d.sys.eng.ScheduleRunner(lat, m)
 }
 
 // process runs the directory state machine for one request.
@@ -283,17 +383,20 @@ func (d *dirSlice) process(e *dirEntry, m *Msg) {
 		return
 	}
 	d.sys.nextTxn++
-	e.txn = &dirTxn{id: d.sys.nextTxn, req: m, waiting: targets.Count()}
+	e.txnStore = dirTxn{id: d.sys.nextTxn, req: m, waiting: targets.Count()}
+	e.txn = &e.txnStore
 	// 3-hop: with exactly one target that is an owner and a data-bearing
 	// request, let the owner forward the data straight to the requester.
 	direct := d.sys.cfg.ThreeHop && targets.Count() == 1 &&
 		(m.Type == MsgGetS || m.Type == MsgGetX)
 	targets.ForEach(func(t int) {
-		probe := &Msg{
-			Src: d.node, Dst: t,
-			Region: m.Region, R: m.R,
-			Requester: req, TxnID: e.txn.id,
-		}
+		probe := d.sys.newMsg()
+		probe.Src = d.node
+		probe.Dst = t
+		probe.Region = m.Region
+		probe.R = m.R
+		probe.Requester = req
+		probe.TxnID = e.txn.id
 		switch {
 		case m.Type == MsgGetS:
 			probe.Type = MsgFwdGetS
@@ -375,21 +478,21 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 		// ran, abandon the eviction and serve it (the data is current);
 		// otherwise free the slot.
 		if len(e.queue) > 0 {
-			next := e.queue[0]
-			e.queue = e.queue[1:]
 			e.txn = nil
-			d.sys.eng.Schedule(1, func() { d.activate(e, next) })
+			d.popQueue(e)
 		} else {
 			e.busy = false
 			d.dropEntry(e)
 		}
+		d.sys.freeMsg(m)
 		return
 	}
 	req := m.Src
-	reply := &Msg{
-		Src: d.node, Dst: req,
-		Region: m.Region, R: m.R,
-	}
+	reply := d.sys.newMsg()
+	reply.Src = d.node
+	reply.Dst = req
+	reply.Region = m.Region
+	reply.R = m.R
 	switch m.Type {
 	case MsgGetS:
 		if d.sharersOf(e).Remove(req).Empty() && e.owners.Remove(req).Empty() {
@@ -443,10 +546,15 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 	}
 	if !forwarded {
 		if delay > 0 {
-			d.sys.eng.Schedule(delay, func() { d.sys.send(reply) })
+			reply.phase = phaseSend
+			d.sys.eng.ScheduleRunner(delay, reply)
 		} else {
 			d.sys.send(reply)
 		}
+	} else {
+		// A 3-hop owner already supplied the requester; the unsent
+		// reply goes straight back to the pool.
+		d.sys.freeMsg(reply)
 	}
 	if d.sys.transitions != nil {
 		d.sys.recordTransition("Dir", e.auditFrom, m.Type.String(), d.dirState(e))
@@ -459,6 +567,8 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 		e.pendingUnblock = false
 		d.unblock(e)
 	}
+	// The request's transaction is fully retired: recycle it.
+	d.sys.freeMsg(m)
 }
 
 // unblock reopens the region after the requester installed its fill
@@ -468,12 +578,22 @@ func (d *dirSlice) unblock(e *dirEntry) {
 		d.sys.obs.OnTxnEnd(e.region)
 	}
 	if len(e.queue) > 0 {
-		next := e.queue[0]
-		e.queue = e.queue[1:]
-		d.sys.eng.Schedule(1, func() { d.activate(e, next) })
+		d.popQueue(e)
 	} else {
 		e.busy = false
 	}
+}
+
+// popQueue dequeues the region's next waiting request and schedules
+// its activation after the 1-cycle dequeue delay. The queue compacts
+// in place so its backing array is reused for the region's lifetime.
+func (d *dirSlice) popQueue(e *dirEntry) {
+	next := e.queue[0]
+	n := copy(e.queue, e.queue[1:])
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	next.phase = phaseActivate
+	d.sys.eng.ScheduleRunner(1, next)
 }
 
 // loadPayload fills a data reply with the requested words from the L2

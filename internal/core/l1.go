@@ -23,11 +23,43 @@ type l1Ctrl struct {
 	id    int
 	cache *cache.Cache
 	pred  predictor.Predictor
-	mshrs map[mem.RegionID]*mshr
+
+	// ms is the single MSHR: the in-order core blocks on every miss, so
+	// at most one is ever live (the hardware indexes MSHRs at REGION
+	// granularity; with one outstanding miss a single slot is the exact
+	// same structure, without a map allocation per miss).
+	ms     mshr
+	msLive bool
+
+	// resolveEv is the reusable L1-pipeline event; with one access in
+	// flight per core it is re-armed for every reference.
+	resolveEv resolveEvent
 
 	// wordCause remembers, per word, why this L1 last lost it — the
 	// cold/capacity/coherence/granularity miss classification.
 	wordCause map[mem.RegionID]*[mem.MaxRegionWords]deathCause
+}
+
+// completer receives the value of a finished memory reference; the cpu
+// implements it. A plain interface instead of a func(uint64) field
+// keeps the per-access path closure-free.
+type completer interface {
+	complete(val uint64)
+}
+
+// resolveEvent is the pre-bound "L1 pipeline done" event: access fills
+// the fields and schedules it after the hit latency.
+type resolveEvent struct {
+	l        *l1Ctrl
+	addr     mem.Addr
+	mode     accessMode
+	pc       uint64
+	storeVal uint64
+	done     completer
+}
+
+func (ev *resolveEvent) Run() {
+	ev.l.resolve(ev.addr, ev.mode, ev.pc, ev.storeVal, ev.done)
 }
 
 // deathCause classifies how a word last left this L1.
@@ -64,15 +96,24 @@ type mshr struct {
 	pc       uint64
 	storeVal uint64
 	issuedAt engine.Cycle // miss-latency accounting
-	done     func(uint64)
+	done     completer
 }
 
 func newL1(sys *System, id int, c *cache.Cache, p predictor.Predictor) *l1Ctrl {
-	return &l1Ctrl{
+	l := &l1Ctrl{
 		sys: sys, id: id, cache: c, pred: p,
-		mshrs:     make(map[mem.RegionID]*mshr),
 		wordCause: make(map[mem.RegionID]*[mem.MaxRegionWords]deathCause),
 	}
+	l.resolveEv.l = l
+	return l
+}
+
+// openMSHR returns the live MSHR for the region, or nil.
+func (l *l1Ctrl) openMSHR(region mem.RegionID) *mshr {
+	if l.msLive && l.ms.region == region {
+		return &l.ms
+	}
+	return nil
 }
 
 // markDeath records how a dead block's words left the cache.
@@ -122,14 +163,19 @@ func (l *l1Ctrl) classifyMiss(region mem.RegionID, w uint8, upgrade bool) {
 // cs is this core's per-core counter slice.
 func (l *l1Ctrl) cs() *stats.CoreStats { return &l.sys.st.PerCore[l.id] }
 
-// access performs one CPU memory reference. done is invoked with the
-// loaded value (or the stored value) when the reference completes.
-func (l *l1Ctrl) access(addr mem.Addr, mode accessMode, pc, storeVal uint64, done func(uint64)) {
+// access performs one CPU memory reference. done.complete is invoked
+// with the loaded value (or the stored value) when the reference
+// completes. The in-order core issues at most one reference at a time,
+// so the reusable resolveEv is always free here.
+func (l *l1Ctrl) access(addr mem.Addr, mode accessMode, pc, storeVal uint64, done completer) {
 	// The 2-cycle L1 pipeline: resolve the access after the hit latency
 	// so values bind at completion time.
-	l.sys.eng.Schedule(l.sys.cfg.L1HitLat, func() {
-		l.resolve(addr, mode, pc, storeVal, done)
-	})
+	l.resolveEv.addr = addr
+	l.resolveEv.mode = mode
+	l.resolveEv.pc = pc
+	l.resolveEv.storeVal = storeVal
+	l.resolveEv.done = done
+	l.sys.eng.ScheduleRunner(l.sys.cfg.L1HitLat, &l.resolveEv)
 }
 
 // applyWrite commits a store or RMW to a writable block and returns
@@ -147,7 +193,7 @@ func applyWrite(b *cache.Block, w uint8, mode accessMode, storeVal uint64) uint6
 	return storeVal
 }
 
-func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, done func(uint64)) {
+func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, done completer) {
 	g := l.sys.geom
 	region, w := g.Region(addr), g.WordOffset(addr)
 	audit := l.auditFrom(region)
@@ -162,7 +208,7 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 			l.cs().Hits++
 			b.Touch(w)
 			audit(event)
-			done(b.Word(w))
+			done.complete(b.Word(w))
 			return
 		}
 		switch b.State {
@@ -171,7 +217,7 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 			l.cs().Hits++
 			val := applyWrite(b, w, mode, storeVal)
 			audit(event)
-			done(val)
+			done.complete(val)
 			return
 		case cache.Shared:
 			// Write to a clean shared block: upgrade miss.
@@ -179,7 +225,7 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 			l.cs().Misses++
 			l.sys.st.UpgradeMisses++
 			l.classifyMiss(region, w, true)
-			l.startMiss(&mshr{
+			l.startMiss(mshr{
 				region: region, mode: mode, upgrade: true, upgradeR: b.R,
 				want: b.R, word: w, pc: pc, storeVal: storeVal, done: done,
 			}, MsgUpgrade)
@@ -193,7 +239,7 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 	l.cs().Misses++
 	l.classifyMiss(region, w, false)
 	want := l.cache.TrimFill(region, l.pred.Predict(pc, region, w), w)
-	ms := &mshr{
+	ms := mshr{
 		region: region, mode: mode,
 		want: want, word: w, pc: pc, storeVal: storeVal, done: done,
 	}
@@ -218,16 +264,21 @@ func (l *l1Ctrl) auditFrom(region mem.RegionID) func(event string) {
 	}
 }
 
-func (l *l1Ctrl) startMiss(ms *mshr, t MsgType) {
-	if _, exists := l.mshrs[ms.region]; exists {
+func (l *l1Ctrl) startMiss(ms mshr, t MsgType) {
+	if l.msLive {
 		panic(fmt.Sprintf("core: L1 %d issued a second miss to region %d (in-order core)", l.id, ms.region))
 	}
 	ms.issuedAt = l.sys.eng.Now()
-	l.mshrs[ms.region] = ms
-	l.sys.send(&Msg{
-		Type: t, Src: l.id, Dst: l.sys.home(ms.region),
-		Region: ms.region, R: ms.want, Requester: l.id,
-	})
+	l.ms = ms
+	l.msLive = true
+	m := l.sys.newMsg()
+	m.Type = t
+	m.Src = l.id
+	m.Dst = l.sys.home(ms.region)
+	m.Region = ms.region
+	m.R = ms.want
+	m.Requester = l.id
+	l.sys.send(m)
 }
 
 // retireMiss records the completed miss's latency.
@@ -253,7 +304,7 @@ func (l *l1Ctrl) recv(m *Msg) {
 
 // fill installs an arriving data response and completes the miss.
 func (l *l1Ctrl) fill(m *Msg) {
-	ms := l.mshrs[m.Region]
+	ms := l.openMSHR(m.Region)
 	if ms == nil {
 		panic(fmt.Sprintf("core: L1 %d data for region %d without MSHR", l.id, m.Region))
 	}
@@ -292,19 +343,22 @@ func (l *l1Ctrl) fill(m *Msg) {
 	if ms.mode.write() {
 		val = applyWrite(b, ms.word, ms.mode, ms.storeVal)
 	}
-	delete(l.mshrs, m.Region)
+	done := ms.done
+	l.msLive = false
 	l.retireMiss(ms)
 	l.sendUnblock(m.Region)
-	ms.done(val)
+	done.complete(val)
 }
 
 // sendUnblock reopens the region at the directory once a response has
 // been installed.
 func (l *l1Ctrl) sendUnblock(region mem.RegionID) {
-	l.sys.send(&Msg{
-		Type: MsgUnblock, Src: l.id, Dst: l.sys.home(region),
-		Region: region,
-	})
+	m := l.sys.newMsg()
+	m.Type = MsgUnblock
+	m.Src = l.id
+	m.Dst = l.sys.home(region)
+	m.Region = region
+	l.sys.send(m)
 }
 
 // grant completes an upgrade. If a racing remote write invalidated the
@@ -312,7 +366,7 @@ func (l *l1Ctrl) sendUnblock(region mem.RegionID) {
 // ACK-S for its other sub-blocks, so the directory still saw it as a
 // sharer), the upgrade is reissued as a full GETX — the SM -> IM path.
 func (l *l1Ctrl) grant(m *Msg) {
-	ms := l.mshrs[m.Region]
+	ms := l.openMSHR(m.Region)
 	if ms == nil || !ms.upgrade {
 		panic(fmt.Sprintf("core: L1 %d grant for region %d without upgrade MSHR", l.id, m.Region))
 	}
@@ -324,19 +378,24 @@ func (l *l1Ctrl) grant(m *Msg) {
 		l.sendUnblock(m.Region)
 		ms.upgrade = false
 		ms.want = l.cache.TrimFill(ms.region, ms.upgradeR, ms.word)
-		l.sys.send(&Msg{
-			Type: MsgGetX, Src: l.id, Dst: l.sys.home(ms.region),
-			Region: ms.region, R: ms.want, Requester: l.id,
-		})
+		retry := l.sys.newMsg()
+		retry.Type = MsgGetX
+		retry.Src = l.id
+		retry.Dst = l.sys.home(ms.region)
+		retry.Region = ms.region
+		retry.R = ms.want
+		retry.Requester = l.id
+		l.sys.send(retry)
 		return
 	}
 	audit := l.auditFrom(m.Region)
 	val := applyWrite(b, ms.word, ms.mode, ms.storeVal)
-	delete(l.mshrs, m.Region)
+	done := ms.done
+	l.msLive = false
 	l.retireMiss(ms)
 	l.sendUnblock(m.Region)
 	audit("Grant")
-	ms.done(val)
+	done.complete(val)
 }
 
 // probeGetS handles a forwarded read probe: the L1 is (possibly) an
@@ -352,10 +411,12 @@ func (l *l1Ctrl) probeGetS(m *Msg) {
 		l.nack(m)
 		return
 	}
-	reply := &Msg{
-		Type: MsgAck, Src: l.id, Dst: m.Src,
-		Region: m.Region, TxnID: m.TxnID,
-	}
+	reply := l.sys.newMsg()
+	reply.Type = MsgAck
+	reply.Src = l.id
+	reply.Dst = m.Src
+	reply.Region = m.Region
+	reply.TxnID = m.TxnID
 	reply.ForwardedData = m.Direct && l.tryDirectForward(m, MsgData)
 	scopeOverlap := l.overlapCoherence()
 	processed := 0
@@ -391,10 +452,12 @@ func (l *l1Ctrl) probeInval(m *Msg) {
 		l.nack(m)
 		return
 	}
-	reply := &Msg{
-		Type: MsgAck, Src: l.id, Dst: m.Src,
-		Region: m.Region, TxnID: m.TxnID,
-	}
+	reply := l.sys.newMsg()
+	reply.Type = MsgAck
+	reply.Src = l.id
+	reply.Dst = m.Src
+	reply.Region = m.Region
+	reply.TxnID = m.TxnID
 	if m.Type == MsgFwdGetX {
 		// Capture the words before they are extracted below.
 		reply.ForwardedData = m.Direct && l.tryDirectForward(m, MsgDataM)
@@ -490,7 +553,8 @@ func (l *l1Ctrl) finishReply(reply *Msg, processed int) {
 	if processed > 1 {
 		delay = engine.Cycle(processed - 1)
 	}
-	l.sys.eng.Schedule(delay, func() { l.sys.send(reply) })
+	reply.phase = phaseSend
+	l.sys.eng.ScheduleRunner(delay, reply)
 }
 
 // tryDirectForward implements the 3-hop fast path (Section 6): when
@@ -500,16 +564,25 @@ func (l *l1Ctrl) finishReply(reply *Msg, processed int) {
 // the transaction falls back to 4-hop and the directory supplies the
 // data from the (patched) L2.
 func (l *l1Ctrl) tryDirectForward(m *Msg, grant MsgType) bool {
-	data := &Msg{
-		Type: grant, Src: l.id, Dst: m.Requester,
-		Region: m.Region, R: m.R, Valid: m.R.Bitmap(),
-	}
+	// Probe coverage first, so no message is taken from the pool on the
+	// fall-back-to-4-hop path.
 	for w := m.R.Start; ; w++ {
-		b := l.cache.Peek(m.Region, w)
-		if b == nil {
+		if l.cache.Peek(m.Region, w) == nil {
 			return false
 		}
-		data.Words[w] = b.Word(w)
+		if w == m.R.End {
+			break
+		}
+	}
+	data := l.sys.newMsg()
+	data.Type = grant
+	data.Src = l.id
+	data.Dst = m.Requester
+	data.Region = m.Region
+	data.R = m.R
+	data.Valid = m.R.Bitmap()
+	for w := m.R.Start; ; w++ {
+		data.Words[w] = l.cache.Peek(m.Region, w).Word(w)
 		if w == m.R.End {
 			break
 		}
@@ -522,10 +595,13 @@ func (l *l1Ctrl) tryDirectForward(m *Msg, grant MsgType) bool {
 // nack answers a probe when nothing of the region is resident: the
 // stale-directory-entry case after a silent clean eviction.
 func (l *l1Ctrl) nack(probe *Msg) {
-	l.sys.send(&Msg{
-		Type: MsgNack, Src: l.id, Dst: probe.Src,
-		Region: probe.Region, TxnID: probe.TxnID,
-	})
+	m := l.sys.newMsg()
+	m.Type = MsgNack
+	m.Src = l.id
+	m.Dst = probe.Src
+	m.Region = probe.Region
+	m.TxnID = probe.TxnID
+	l.sys.send(m)
 }
 
 // handleVictims processes capacity evictions: classify each dead
@@ -544,18 +620,21 @@ func (l *l1Ctrl) handleVictims(victims []cache.Block) {
 			// replacement-notification discipline). Precise directories
 			// keep the paper's silent-drop-then-NACK behaviour.
 			if l.sys.cfg.Directory == DirBloom && !l.cache.HasRegion(v.Region) {
-				l.sys.send(&Msg{
-					Type: MsgWbackLast, Src: l.id, Dst: l.sys.home(v.Region),
-					Region: v.Region,
-				})
+				note := l.sys.newMsg()
+				note.Type = MsgWbackLast
+				note.Src = l.id
+				note.Dst = l.sys.home(v.Region)
+				note.Region = v.Region
+				l.sys.send(note)
 			}
 			continue
 		}
-		wb := &Msg{
-			Src: l.id, Dst: l.sys.home(v.Region),
-			Region: v.Region,
-			Valid:  v.R.Bitmap(), Dirty: v.R.Bitmap(),
-		}
+		wb := l.sys.newMsg()
+		wb.Src = l.id
+		wb.Dst = l.sys.home(v.Region)
+		wb.Region = v.Region
+		wb.Valid = v.R.Bitmap()
+		wb.Dirty = v.R.Bitmap()
 		for w := v.R.Start; ; w++ {
 			wb.Words[w] = v.Word(w)
 			if w == v.R.End {

@@ -170,6 +170,48 @@ type Msg struct {
 	// send data itself. Partial or no coverage falls back to 4-hop.
 	Direct        bool
 	ForwardedData bool
+
+	// Scheduling state for the allocation-free hot path: messages come
+	// from the owning System's free list and double as their own engine
+	// events (phase selects what Run does next). Not protocol state.
+	sys   *System
+	phase msgPhase
+}
+
+// msgPhase is the next scheduled action for a pooled message acting as
+// its own engine event.
+type msgPhase uint8
+
+const (
+	// phaseDeliver hands the message to its destination controller
+	// (the mesh's delivery callback).
+	phaseDeliver msgPhase = iota
+	// phaseSend puts the message on the mesh after a scheduled delay
+	// (e.g. the multi-block gather penalty).
+	phaseSend
+	// phaseActivate starts the directory transaction for a queued
+	// request after the 1-cycle dequeue delay.
+	phaseActivate
+	// phaseProcess runs the directory state machine after the L2
+	// access latency.
+	phaseProcess
+)
+
+// Run dispatches the message's scheduled action; Msg implements
+// engine.Runner so the hot path schedules no closures.
+func (m *Msg) Run() {
+	switch m.phase {
+	case phaseDeliver:
+		m.sys.deliver(m)
+	case phaseSend:
+		m.sys.send(m)
+	case phaseActivate:
+		d := m.sys.dirs[m.Dst]
+		d.activate(d.mustEntry(m.Region), m)
+	case phaseProcess:
+		d := m.sys.dirs[m.Dst]
+		d.process(d.mustEntry(m.Region), m)
+	}
 }
 
 // PayloadWords is the number of data words the message carries.

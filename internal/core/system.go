@@ -140,10 +140,32 @@ type System struct {
 	// lastRetire is the cycle the final core finished its stream.
 	lastRetire engine.Cycle
 
-	barrierWait    []func()
+	barrierWait    []*cpu
 	barrierArrived int
 	coresDone      int
 	ran            bool
+
+	// msgPool is the free list behind newMsg/freeMsg: the machine is
+	// single-goroutine, so recycling needs no synchronization. At steady
+	// state every coherence message comes from here.
+	msgPool []*Msg
+}
+
+// newMsg takes a zeroed message from the free list (or allocates one).
+func (s *System) newMsg() *Msg {
+	if n := len(s.msgPool); n > 0 {
+		m := s.msgPool[n-1]
+		s.msgPool = s.msgPool[:n-1]
+		return m
+	}
+	return &Msg{sys: s}
+}
+
+// freeMsg recycles a message whose lifecycle has ended: delivered and
+// fully handled, with no controller retaining a reference.
+func (s *System) freeMsg(m *Msg) {
+	*m = Msg{sys: s}
+	s.msgPool = append(s.msgPool, m)
 }
 
 // NewSystem builds a machine executing the given per-core streams.
@@ -192,7 +214,10 @@ func NewSystem(cfg Config, streams []trace.Stream) (*System, error) {
 		}
 		s.l1s = append(s.l1s, newL1(s, i, l1cache, pred))
 		s.dirs = append(s.dirs, newDirSlice(s, i))
-		s.cpus = append(s.cpus, &cpu{id: i, stream: streams[i]})
+		c := &cpu{id: i, sys: s, stream: streams[i]}
+		c.thinkEv = cpuThink{s: s, c: c}
+		c.stepEv = cpuStep{s: s, c: c}
+		s.cpus = append(s.cpus, c)
 	}
 	return s, nil
 }
@@ -226,19 +251,26 @@ func (s *System) send(m *Msg) {
 	if s.log != nil {
 		s.log.record(s.eng.Now(), m)
 	}
-	bytes := m.Bytes()
-	dst := m.Dst
-	s.mesh.Send(m.Src, dst, m.VNet(), bytes, func() { s.deliver(m) })
+	m.sys = s
+	m.phase = phaseDeliver
+	s.mesh.SendRunner(m.Src, m.Dst, m.VNet(), m.Bytes(), m)
 }
 
+// deliver hands an arriving message to its destination controller.
+// Requests are retained by the directory (queued or held by the active
+// transaction) and recycled when their transaction finishes; every
+// other message is dead once its handler returns and goes back to the
+// pool here.
 func (s *System) deliver(m *Msg) {
 	switch m.Type {
 	case MsgGetS, MsgGetX, MsgUpgrade:
 		s.dirs[m.Dst].recvRequest(m)
 	case MsgAck, MsgAckS, MsgNack, MsgWback, MsgWbackLast, MsgUnblock:
 		s.dirs[m.Dst].recvResponse(m)
+		s.freeMsg(m)
 	default:
 		s.l1s[m.Dst].recv(m)
+		s.freeMsg(m)
 	}
 }
 
@@ -251,8 +283,7 @@ func (s *System) Run() error {
 	}
 	s.ran = true
 	for _, c := range s.cpus {
-		c := c
-		s.eng.Schedule(0, func() { s.step(c) })
+		s.eng.ScheduleRunner(0, &c.stepEv)
 	}
 	if s.timelineInterval > 0 {
 		s.eng.Schedule(s.timelineInterval, s.sampleTimeline)
@@ -301,8 +332,8 @@ func (s *System) ForEachCachedWord(fn func(core int, region mem.RegionID, w uint
 // region has been allocated at the L2 at all.
 func (s *System) L2Word(region mem.RegionID, w uint8) (uint64, bool) {
 	d := s.dirs[s.home(region)]
-	e, ok := d.entries[region]
-	if !ok {
+	e := d.lookup(region)
+	if e == nil {
 		return 0, false
 	}
 	return e.data[w], true
@@ -312,7 +343,6 @@ func (s *System) L2Word(region mem.RegionID, w uint8) (uint64, bool) {
 // transaction (checker support: invariants are only guaranteed at
 // quiescent points).
 func (s *System) DirBusy(region mem.RegionID) bool {
-	d := s.dirs[s.home(region)]
-	e, ok := d.entries[region]
-	return ok && e.busy
+	e := s.dirs[s.home(region)].lookup(region)
+	return e != nil && e.busy
 }

@@ -83,7 +83,7 @@ func (l *l1Ctrl) regionState(region mem.RegionID) string {
 		}
 	}
 	st := strongest.String()
-	if ms, ok := l.mshrs[region]; ok {
+	if ms := l.openMSHR(region); ms != nil {
 		switch {
 		case ms.upgrade:
 			st += "_SM"

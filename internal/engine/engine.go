@@ -7,9 +7,19 @@
 // This replaces the SIMICS/GEMS execution-driven engine the paper used:
 // the memory-system results depend only on event ordering and the
 // Table 4 latencies, both of which this engine reproduces exactly.
+//
+// Two queue implementations back the engine. The default is a two-level
+// bucketed queue: a ring of per-cycle FIFO buckets covers the near
+// future (push and pop are O(1) with no per-event allocation), and a
+// typed min-heap holds the far-future overflow, drained window by
+// window. The original binary-heap queue is retained for differential
+// testing — construct it with NewWithHeap, or set the environment
+// variable PROTOZOA_EVENT_QUEUE=heap to make New return it. Both
+// implement the exact same (cycle, sequence) total order, so a run is
+// bit-identical under either.
 package engine
 
-import "container/heap"
+import "os"
 
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle uint64
@@ -17,41 +27,63 @@ type Cycle uint64
 // Event is a callback scheduled to run at a specific cycle.
 type Event func()
 
+// Runner is the allocation-free alternative to Event: callers that
+// would otherwise capture state in a fresh closure per event implement
+// Run on a reusable struct and pass it to ScheduleRunner. Scheduling a
+// pointer-shaped Runner does not allocate.
+type Runner interface{ Run() }
+
+// item is one queued event: either r (preferred) or fn is set.
 type item struct {
 	at  Cycle
 	seq uint64
 	fn  Event
+	r   Runner
 }
 
-type eventHeap []item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the engine's total order: cycle first, then schedule
+// sequence, so same-cycle events run in scheduling order.
+func (it item) before(other item) bool {
+	if it.at != other.at {
+		return it.at < other.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return it.seq < other.seq
 }
 
-// Engine is a deterministic event queue. The zero value is ready to use.
+// Engine is a deterministic event queue. The zero value is NOT ready to
+// use; construct with New (bucketed queue) or NewWithHeap.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	queue  eventHeap
-	events uint64
+	now     Cycle
+	seq     uint64
+	events  uint64
+	useHeap bool
+	heap    heapQueue
+	bq      bucketQueue
 }
 
-// New returns a fresh engine at cycle zero.
-func New() *Engine { return &Engine{} }
+// QueueEnvVar selects the queue implementation for New: set it to
+// "heap" to get the legacy binary-heap queue (differential testing).
+const QueueEnvVar = "PROTOZOA_EVENT_QUEUE"
+
+// New returns a fresh engine at cycle zero, using the bucketed queue
+// unless PROTOZOA_EVENT_QUEUE=heap is set in the environment.
+func New() *Engine {
+	if os.Getenv(QueueEnvVar) == "heap" {
+		return NewWithHeap()
+	}
+	return NewBucketed()
+}
+
+// NewBucketed returns an engine backed by the two-level bucketed queue.
+func NewBucketed() *Engine {
+	e := &Engine{}
+	e.bq.init()
+	return e
+}
+
+// NewWithHeap returns an engine backed by the legacy binary-heap queue
+// (kept for differential testing against the bucketed queue).
+func NewWithHeap() *Engine { return &Engine{useHeap: true} }
 
 // Now reports the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
@@ -59,11 +91,20 @@ func (e *Engine) Now() Cycle { return e.now }
 // Processed reports how many events have run.
 func (e *Engine) Processed() uint64 { return e.events }
 
+func (e *Engine) push(it item) {
+	e.seq++
+	it.seq = e.seq
+	if e.useHeap {
+		e.heap.push(it)
+	} else {
+		e.bq.push(it)
+	}
+}
+
 // Schedule runs fn delay cycles from now. Events scheduled for the
 // same cycle run in scheduling order.
 func (e *Engine) Schedule(delay Cycle, fn Event) {
-	e.seq++
-	heap.Push(&e.queue, item{at: e.now + delay, seq: e.seq, fn: fn})
+	e.push(item{at: e.now + delay, fn: fn})
 }
 
 // ScheduleAt runs fn at the given absolute cycle, which must not be in
@@ -72,22 +113,50 @@ func (e *Engine) ScheduleAt(at Cycle, fn Event) {
 	if at < e.now {
 		at = e.now
 	}
-	e.seq++
-	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+	e.push(item{at: at, fn: fn})
+}
+
+// ScheduleRunner runs r delay cycles from now, without allocating: the
+// hot-path equivalent of Schedule for pre-bound event structs.
+func (e *Engine) ScheduleRunner(delay Cycle, r Runner) {
+	e.push(item{at: e.now + delay, r: r})
+}
+
+// ScheduleRunnerAt is ScheduleAt for a Runner; past cycles clamp to now.
+func (e *Engine) ScheduleRunnerAt(at Cycle, r Runner) {
+	if at < e.now {
+		at = e.now
+	}
+	e.push(item{at: at, r: r})
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int {
+	if e.useHeap {
+		return len(e.heap.items)
+	}
+	return e.bq.size
+}
 
 // Step runs the next event; it reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	var it item
+	var ok bool
+	if e.useHeap {
+		it, ok = e.heap.pop()
+	} else {
+		it, ok = e.bq.pop()
+	}
+	if !ok {
 		return false
 	}
-	it := heap.Pop(&e.queue).(item)
 	e.now = it.at
 	e.events++
-	it.fn()
+	if it.r != nil {
+		it.r.Run()
+	} else {
+		it.fn()
+	}
 	return true
 }
 
@@ -98,7 +167,7 @@ func (e *Engine) Run(maxEvents uint64) bool {
 	start := e.events
 	for e.Step() {
 		if maxEvents > 0 && e.events-start >= maxEvents {
-			return len(e.queue) == 0
+			return e.Pending() == 0
 		}
 	}
 	return true

@@ -1,0 +1,168 @@
+package engine
+
+// This file holds the two queue implementations behind Engine.
+//
+// heapQueue is the legacy binary min-heap, now with direct typed
+// sift-up/sift-down (no container/heap, no interface{} boxing per
+// push/pop). It remains the differential-testing reference and the
+// far-future overflow structure of the bucketed queue.
+//
+// bucketQueue is the production queue: a ring of numBuckets per-cycle
+// FIFO buckets covering the window [start, start+numBuckets), plus a
+// heapQueue for events beyond the window. Almost every event in the
+// simulator lands within a few hundred cycles of now (the largest
+// Table 4 latency is the 300-cycle memory access), so pushes and pops
+// are O(1) appends/reads of reused slices at steady state. When the
+// window empties, the queue jumps to the earliest far-future event and
+// drains the heap into the new window.
+
+// heapQueue is a typed binary min-heap ordered by item.before.
+type heapQueue struct {
+	items []item
+}
+
+func (h *heapQueue) push(it item) {
+	h.items = append(h.items, it)
+	h.siftUp(len(h.items) - 1)
+}
+
+func (h *heapQueue) pop() (item, bool) {
+	n := len(h.items)
+	if n == 0 {
+		return item{}, false
+	}
+	top := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items[n-1] = item{} // release closure/runner references
+	h.items = h.items[:n-1]
+	if len(h.items) > 1 {
+		h.siftDown(0)
+	}
+	return top, true
+}
+
+func (h *heapQueue) peekAt() (Cycle, bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	return h.items[0].at, true
+}
+
+func (h *heapQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].before(h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *heapQueue) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.items[l].before(h.items[min]) {
+			min = l
+		}
+		if r < n && h.items[r].before(h.items[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
+}
+
+// bucketBits sizes the near-future window: 4096 cycles comfortably
+// covers every latency the machine model schedules (memory is 300).
+const (
+	bucketBits = 12
+	numBuckets = 1 << bucketBits
+	bucketMask = numBuckets - 1
+)
+
+// bucket holds the events of exactly one cycle within the current
+// window, in push order (which is seq order, preserving determinism).
+// head is the next unpopped index; the slice is reset and reused once
+// the cycle has been fully drained.
+type bucket struct {
+	items []item
+	head  int
+}
+
+type bucketQueue struct {
+	buckets []bucket
+	start   Cycle // inclusive lower bound of the window
+	cursor  Cycle // next cycle to scan for pops; start <= cursor
+	inWin   int   // unpopped items currently in buckets
+	far     heapQueue
+	size    int
+}
+
+func (q *bucketQueue) init() {
+	q.buckets = make([]bucket, numBuckets)
+}
+
+// push files the item into its cycle's bucket when the cycle falls in
+// the current window, and into the far-future heap otherwise. Callers
+// guarantee it.at >= the last popped cycle, so it.at >= q.cursor.
+func (q *bucketQueue) push(it item) {
+	q.size++
+	if it.at < q.start+numBuckets {
+		b := &q.buckets[it.at&bucketMask]
+		b.items = append(b.items, it)
+		q.inWin++
+	} else {
+		q.far.push(it)
+	}
+}
+
+// pop returns the globally earliest item in (cycle, seq) order.
+func (q *bucketQueue) pop() (item, bool) {
+	if q.size == 0 {
+		return item{}, false
+	}
+	for {
+		for q.inWin > 0 {
+			b := &q.buckets[q.cursor&bucketMask]
+			if b.head < len(b.items) {
+				it := b.items[b.head]
+				b.items[b.head] = item{} // release closure/runner references
+				b.head++
+				q.inWin--
+				q.size--
+				return it, true
+			}
+			// Cycle q.cursor fully drained: recycle the bucket's slice
+			// and move on. New pushes are always >= the popped cycle, so
+			// nothing can arrive behind the cursor.
+			b.items = b.items[:0]
+			b.head = 0
+			q.cursor++
+		}
+		// Window empty: jump to the earliest far-future event and drain
+		// the heap into the new window. Heap pops come out in (cycle,
+		// seq) order, so each bucket receives its items in seq order.
+		at, ok := q.far.peekAt()
+		if !ok {
+			return item{}, false // unreachable while size > 0
+		}
+		q.start = at
+		q.cursor = at
+		for {
+			nextAt, ok := q.far.peekAt()
+			if !ok || nextAt >= q.start+numBuckets {
+				break
+			}
+			it, _ := q.far.pop()
+			b := &q.buckets[it.at&bucketMask]
+			b.items = append(b.items, it)
+			q.inWin++
+		}
+	}
+}

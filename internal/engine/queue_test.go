@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testRunner records its firing order; the minimal Runner for queue
+// tests.
+type testRunner struct {
+	id  int
+	out *[]int
+}
+
+func (r *testRunner) Run() { *r.out = append(*r.out, r.id) }
+
+func TestScheduleRunnerOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.ScheduleRunner(30, &testRunner{3, &got})
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.ScheduleRunner(20, &testRunner{2, &got})
+	e.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestRunnerAndClosureInterleaveBySeq(t *testing.T) {
+	// Runners and closures scheduled for the same cycle must fire in
+	// schedule order regardless of which API queued them.
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			e.ScheduleRunner(5, &testRunner{i, &got})
+		} else {
+			i := i
+			e.Schedule(5, func() { got = append(got, i) })
+		}
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed same-cycle order broken: %v", got)
+		}
+	}
+}
+
+func TestBucketQueueFarFuture(t *testing.T) {
+	// Delays beyond the bucket window land in the overflow heap and
+	// must still fire in exact (cycle, seq) order, including events
+	// scheduled into a far window from within it.
+	e := NewBucketed()
+	var got []Cycle
+	note := func() { got = append(got, e.Now()) }
+	e.Schedule(numBuckets*3+7, note) // far future
+	e.Schedule(1, func() {
+		note()
+		e.Schedule(numBuckets*2, note) // far from cycle 1
+		e.Schedule(5, note)            // near
+	})
+	e.Run(0)
+	want := []Cycle{1, 6, numBuckets*2 + 1, numBuckets*3 + 7}
+	if len(got) != len(want) {
+		t.Fatalf("fired at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueDifferential drives the bucketed queue and the reference
+// heap with an identical random schedule — including nested scheduling
+// and far-future delays straddling the window boundary — and requires
+// the exact same execution order from both.
+func TestQueueDifferential(t *testing.T) {
+	run := func(e *Engine, seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		var got []int
+		n := 0
+		var kick func()
+		kick = func() {
+			id := n
+			n++
+			got = append(got, id)
+			for i := 0; i < rng.Intn(4); i++ {
+				delay := Cycle(rng.Intn(10))
+				switch rng.Intn(3) {
+				case 0: // straddle the window boundary
+					delay = numBuckets - 2 + Cycle(rng.Intn(5))
+				case 1: // deep overflow
+					delay = numBuckets*2 + Cycle(rng.Intn(100))
+				}
+				if n < 3000 {
+					e.Schedule(delay, kick)
+				}
+			}
+		}
+		for i := 0; i < 50; i++ {
+			e.Schedule(Cycle(rng.Intn(int(numBuckets)*3)), kick)
+		}
+		e.Run(0)
+		return got
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		a := run(NewBucketed(), seed)
+		b := run(NewWithHeap(), seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: bucketed ran %d events, heap ran %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: queues diverge at event %d: %d vs %d", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestQueueEnvSelectsHeap(t *testing.T) {
+	t.Setenv(QueueEnvVar, "heap")
+	e := New()
+	if !e.useHeap {
+		t.Fatalf("%s=heap did not select the heap queue", QueueEnvVar)
+	}
+	var got []int
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Run(0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("heap engine order = %v", got)
+	}
+}
+
+func TestBucketQueueWindowReuse(t *testing.T) {
+	// Cycle through many windows to exercise bucket reset and window
+	// jumps; Pending must track exactly.
+	e := NewBucketed()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.Schedule(numBuckets/2+3, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(0)
+	if count != 100 {
+		t.Fatalf("ran %d ticks, want 100", count)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}

@@ -78,23 +78,22 @@ func DefaultConfig() Config {
 	}
 }
 
-type chanKey struct {
-	src, dst, vnet int
-}
-
-// linkKey is one directed mesh link.
-type linkKey struct {
-	from, to int
-}
+// numVnets is the number of virtual networks the mesh tracks FIFO
+// state for (requests, forwards, responses).
+const numVnets = 3
 
 // Mesh is the interconnect instance. It is not safe for concurrent
 // use; the whole simulator is single-goroutine by design.
+//
+// FIFO-channel and link occupancy state are dense slices indexed by
+// (src, dst, vnet) and (from, to) — the node count is small and fixed,
+// so this replaces two map lookups per message on the hot path.
 type Mesh struct {
 	cfg   Config
 	eng   *engine.Engine
 	st    *stats.Stats
-	last  map[chanKey]engine.Cycle
-	links map[linkKey]engine.Cycle // per-link busy-until (contention mode)
+	last  []engine.Cycle // per (src*nodes+dst)*numVnets+vnet: last delivery cycle
+	links []engine.Cycle // per from*nodes+to: busy-until (contention mode)
 	nodes int
 }
 
@@ -107,13 +106,14 @@ func New(cfg Config, eng *engine.Engine, st *stats.Stats) (*Mesh, error) {
 	if cfg.FlitBytes <= 0 {
 		return nil, fmt.Errorf("noc: bad flit size %d", cfg.FlitBytes)
 	}
+	nodes := cfg.DimX * cfg.DimY
 	return &Mesh{
 		cfg:   cfg,
 		eng:   eng,
 		st:    st,
-		last:  make(map[chanKey]engine.Cycle),
-		links: make(map[linkKey]engine.Cycle),
-		nodes: cfg.DimX * cfg.DimY,
+		last:  make([]engine.Cycle, nodes*nodes*numVnets),
+		links: make([]engine.Cycle, nodes*nodes),
+		nodes: nodes,
 	}, nil
 }
 
@@ -211,8 +211,25 @@ func (m *Mesh) Latency(src, dst, bytes int) engine.Cycle {
 // on the same (src, dst, vnet) channel never reorder. Flit-hop and
 // message counters accrue immediately.
 func (m *Mesh) Send(src, dst, vnet, bytes int, deliver func()) {
+	at := m.arrival(src, dst, vnet, bytes)
+	m.eng.ScheduleAt(at, deliver)
+}
+
+// SendRunner is Send for a pre-bound engine.Runner: the allocation-free
+// path the coherence layer uses (the message itself is the runner).
+func (m *Mesh) SendRunner(src, dst, vnet, bytes int, deliver engine.Runner) {
+	at := m.arrival(src, dst, vnet, bytes)
+	m.eng.ScheduleRunnerAt(at, deliver)
+}
+
+// arrival accounts the message and computes its delivery cycle,
+// including FIFO back-pressure on the (src, dst, vnet) channel.
+func (m *Mesh) arrival(src, dst, vnet, bytes int) engine.Cycle {
 	if src < 0 || src >= m.nodes || dst < 0 || dst >= m.nodes {
 		panic(fmt.Sprintf("noc: node out of range: src=%d dst=%d nodes=%d", src, dst, m.nodes))
+	}
+	if vnet < 0 || vnet >= numVnets {
+		panic(fmt.Sprintf("noc: vnet out of range: %d", vnet))
 	}
 	flits := m.Flits(bytes)
 	hops := m.Hops(src, dst)
@@ -226,12 +243,14 @@ func (m *Mesh) Send(src, dst, vnet, bytes int, deliver func()) {
 	} else {
 		at = m.eng.Now() + m.Latency(src, dst, bytes)
 	}
-	key := chanKey{src, dst, vnet}
-	if prev, ok := m.last[key]; ok && at <= prev {
-		at = prev + 1 // preserve FIFO order on the channel
+	// last holds (previous delivery cycle + 1), so the zero value means
+	// "channel never used" and preserves FIFO order otherwise.
+	idx := (src*m.nodes+dst)*numVnets + vnet
+	if floor := m.last[idx]; at < floor {
+		at = floor
 	}
-	m.last[key] = at
-	m.eng.ScheduleAt(at, deliver)
+	m.last[idx] = at + 1
+	return at
 }
 
 // reserve walks the XY path claiming each link in turn (wormhole
@@ -247,7 +266,7 @@ func (m *Mesh) reserve(src, dst int, flits int) engine.Cycle {
 	head := m.eng.Now() + m.cfg.RouterLat
 	prev := src
 	for _, next := range m.Path(src, dst) {
-		l := linkKey{prev, next}
+		l := prev*m.nodes + next
 		start := head
 		if busy := m.links[l]; busy > start {
 			start = busy
