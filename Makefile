@@ -1,8 +1,9 @@
 # Tier-1 verify: build, vet, full tests, a race pass over the
 # concurrency layer (worker-pool runner, event engine) and the
-# simulator hot path (core protocol + cache storage), and a 1-iteration
+# simulator hot path (core protocol + cache storage), a 1-iteration
 # benchmark smoke so throughput regressions that crash or deadlock are
-# caught before they reach a real benchmarking session.
+# caught before they reach a real benchmarking session, and the
+# observability smoke (trace + metrics JSON must parse).
 verify:
 	go build ./...
 	go vet ./...
@@ -10,6 +11,19 @@ verify:
 	go test -race ./internal/runner ./internal/engine
 	go test -race ./internal/core ./internal/cache
 	go test -run '^$$' -bench SimulatorThroughput -benchtime 1x .
+	$(MAKE) trace-smoke
+
+# trace-smoke: a 1-iteration simulation with event tracing and the
+# metrics registry enabled, validating both JSON artifacts parse
+# (python3 json.tool; Perfetto loads anything that passes).
+trace-smoke:
+	@mkdir -p /tmp/protozoa-smoke
+	go run ./cmd/protozoa-sim -workload histogram -protocol mw -scale 1 \
+		-trace-out /tmp/protozoa-smoke/trace.json \
+		-metrics-out /tmp/protozoa-smoke/metrics.json > /dev/null
+	python3 -m json.tool /tmp/protozoa-smoke/trace.json > /dev/null
+	python3 -m json.tool /tmp/protozoa-smoke/metrics.json > /dev/null
+	@echo "trace-smoke: trace.json and metrics.json parse OK"
 
 # bench runs the simulator throughput benchmark with allocation
 # accounting in a benchstat-friendly shape (-count 5). Compare against
@@ -17,4 +31,4 @@ verify:
 bench:
 	go test -run '^$$' -bench SimulatorThroughput -benchmem -benchtime 2s -count 5 .
 
-.PHONY: verify bench
+.PHONY: verify bench trace-smoke

@@ -4,6 +4,7 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -76,6 +77,33 @@ func TestCLIs(t *testing.T) {
 		out = run(t, bin("protozoa-sim"), "-workload", "fft", "-cores", "4", "-scale", "1", "-msglog", "5", "-timeline", "5000")
 		if !strings.Contains(out, "coherence messages") || !strings.Contains(out, "timeline") {
 			t.Error("sim instrumentation output incomplete")
+		}
+		traceOut := filepath.Join(dir, "trace.json")
+		metricsOut := filepath.Join(dir, "metrics.json")
+		run(t, bin("protozoa-sim"), "-workload", "fft", "-cores", "4", "-scale", "1",
+			"-trace-out", traceOut, "-metrics-out", metricsOut)
+		var trace struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		data, err := os.ReadFile(traceOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &trace); err != nil || len(trace.TraceEvents) == 0 {
+			t.Errorf("-trace-out did not produce a parseable trace (%v, %d events)", err, len(trace.TraceEvents))
+		}
+		var metrics struct {
+			Final map[string]float64 `json:"final"`
+		}
+		data, err = os.ReadFile(metricsOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &metrics); err != nil {
+			t.Errorf("-metrics-out did not produce parseable JSON: %v", err)
+		}
+		if _, ok := metrics.Final["event_queue_high_water"]; !ok {
+			t.Errorf("metrics.json missing standard gauges: %v", metrics.Final)
 		}
 	})
 

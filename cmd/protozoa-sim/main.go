@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -45,6 +46,9 @@ func main() {
 	msglog := flag.Int("msglog", 0, "dump the last N coherence messages after the run")
 	jsonOut := flag.Bool("json", false, "emit the raw stats as JSON instead of the report")
 	timeline := flag.Int("timeline", 0, "sample the run every N cycles and print per-window rates")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	traceCap := flag.Int("trace-cap", 0, "event recorder capacity (0 = default 1Mi events)")
+	metricsOut := flag.String("metrics-out", "", "write the sampled metrics registry as JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -70,8 +74,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
 		os.Exit(1)
 	}
-	if *msglog > 0 || *timeline > 0 {
-		err := runInstrumented(*workload, p, *cores, *scale, *msglog, *timeline)
+	if *msglog > 0 || *timeline > 0 || *traceOut != "" || *metricsOut != "" {
+		err := runInstrumented(*workload, p, *cores, *scale, *msglog, *timeline, instrumentOut{
+			traceOut: *traceOut, traceCap: *traceCap, metricsOut: *metricsOut,
+		})
 		if perr := stopProfiles(); err == nil {
 			err = perr
 		}
@@ -101,9 +107,16 @@ func main() {
 	fmt.Print(harness.RenderStats(*workload, core.Protocol(p), st))
 }
 
-// runInstrumented builds the system directly so protocol transcripts
-// and timelines can be captured and dumped.
-func runInstrumented(workload string, p protozoa.Protocol, cores, scale, msglog, timeline int) error {
+// instrumentOut carries the observability output destinations.
+type instrumentOut struct {
+	traceOut   string
+	traceCap   int
+	metricsOut string
+}
+
+// runInstrumented builds the system directly so protocol transcripts,
+// timelines, event traces, and metrics can be captured and dumped.
+func runInstrumented(workload string, p protozoa.Protocol, cores, scale, msglog, timeline int, out instrumentOut) error {
 	spec, err := workloads.Get(workload)
 	if err != nil {
 		return err
@@ -122,8 +135,24 @@ func runInstrumented(workload string, p protozoa.Protocol, cores, scale, msglog,
 	if timeline > 0 {
 		sys.EnableTimeline(engine.Cycle(timeline))
 	}
+	if out.traceOut != "" {
+		sys.EnableEventTrace(out.traceCap)
+	}
+	if out.metricsOut != "" {
+		sys.EnableMetrics()
+	}
 	if err := sys.Run(); err != nil {
 		return err
+	}
+	if out.traceOut != "" {
+		if err := writeTo(out.traceOut, sys.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if out.metricsOut != "" {
+		if err := writeTo(out.metricsOut, sys.Metrics().WriteJSON); err != nil {
+			return err
+		}
 	}
 	fmt.Print(harness.RenderStats(workload, core.Protocol(p), sys.Stats()))
 	if timeline > 0 {
@@ -143,4 +172,17 @@ func runInstrumented(workload string, p protozoa.Protocol, cores, scale, msglog,
 		}
 	}
 	return nil
+}
+
+// writeTo streams a dump function into a freshly created file.
+func writeTo(path string, dump func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

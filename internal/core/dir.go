@@ -6,6 +6,7 @@ import (
 	"protozoa/internal/directory"
 	"protozoa/internal/engine"
 	"protozoa/internal/mem"
+	"protozoa/internal/obs"
 )
 
 // dirSlice is one tile's slice of the shared inclusive L2 with its
@@ -36,6 +37,11 @@ type dirSlice struct {
 
 	touchSeq uint64
 	bloom    *bloomDir // non-nil when Config.Directory == DirBloom
+
+	// busyTxns counts regions with an active transaction on this slice —
+	// the directory-occupancy gauge. Maintained by setBusy/clearBusy so
+	// sampling is O(1) instead of a table walk.
+	busyTxns int
 
 	// memory holds regions written back on inclusion evictions; absent
 	// regions read as zero (fresh physical memory).
@@ -91,6 +97,22 @@ func newDirSlice(sys *System, node int) *dirSlice {
 		d.bloom = newBloomDir(hashes, buckets, sys.cfg.Cores)
 	}
 	return d
+}
+
+// setBusy and clearBusy are the only writers of dirEntry.busy, keeping
+// the busyTxns occupancy gauge exact.
+func (d *dirSlice) setBusy(e *dirEntry) {
+	if !e.busy {
+		e.busy = true
+		d.busyTxns++
+	}
+}
+
+func (d *dirSlice) clearBusy(e *dirEntry) {
+	if e.busy {
+		e.busy = false
+		d.busyTxns--
+	}
 }
 
 // sharersOf returns the sharer set the directory hardware would see:
@@ -239,7 +261,13 @@ func (d *dirSlice) evictLRURegion() {
 		d.dropEntry(victim)
 		return
 	}
-	victim.busy = true
+	d.setBusy(victim)
+	if d.sys.rec != nil {
+		d.sys.rec.Record(obs.Event{
+			Cycle: d.sys.eng.Now(), Kind: obs.KindTxnStart, Sub: uint8(MsgRecall),
+			Node: int16(d.node), Peer: -1, Region: uint64(victim.region),
+		})
+	}
 	d.sys.nextTxn++
 	req := d.sys.newMsg()
 	req.Type = MsgRecall
@@ -325,6 +353,9 @@ func (d *dirSlice) fetchMissing(e *dirEntry, need mem.Bitmap) bool {
 // recvRequest accepts GETS/GETX/UPGRADE. One transaction per region:
 // a busy region queues the request.
 func (d *dirSlice) recvRequest(m *Msg) {
+	if d.sys.lat != nil {
+		d.sys.lat.DirAccept(m.Src, uint64(d.sys.eng.Now()))
+	}
 	e := d.entry(m.Region)
 	if e.busy {
 		e.queue = append(e.queue, m)
@@ -336,7 +367,16 @@ func (d *dirSlice) recvRequest(m *Msg) {
 // activate starts a transaction: pay the L2 access latency (plus the
 // one-time memory fetch for the region's first touch) and then process.
 func (d *dirSlice) activate(e *dirEntry, m *Msg) {
-	e.busy = true
+	d.setBusy(e)
+	if d.sys.lat != nil {
+		d.sys.lat.Activate(m.Src, uint64(d.sys.eng.Now()))
+	}
+	if d.sys.rec != nil {
+		d.sys.rec.Record(obs.Event{
+			Cycle: d.sys.eng.Now(), Kind: obs.KindTxnStart, Sub: uint8(m.Type),
+			Node: int16(d.node), Peer: -1, Region: uint64(m.Region),
+		})
+	}
 	lat := d.sys.cfg.L2Lat
 	if !e.memTouched {
 		e.memTouched = true
@@ -350,6 +390,9 @@ func (d *dirSlice) activate(e *dirEntry, m *Msg) {
 
 // process runs the directory state machine for one request.
 func (d *dirSlice) process(e *dirEntry, m *Msg) {
+	if d.sys.lat != nil {
+		d.sys.lat.Process(m.Src, uint64(d.sys.eng.Now()))
+	}
 	if d.sys.transitions != nil {
 		e.auditFrom = d.dirState(e)
 	}
@@ -463,6 +506,10 @@ func (d *dirSlice) recvResponse(m *Msg) {
 			req := e.txn.req
 			forwarded := e.txn.forwarded
 			e.txn = nil
+			if d.sys.lat != nil && req.Type != MsgRecall {
+				// Recall transactions carry Src=0, not a requester core.
+				d.sys.lat.LastAck(req.Src, uint64(d.sys.eng.Now()))
+			}
 			d.finish(e, req, forwarded)
 		}
 	}
@@ -477,11 +524,17 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 		// dirty data patched. If a request raced in while the recall
 		// ran, abandon the eviction and serve it (the data is current);
 		// otherwise free the slot.
+		if d.sys.rec != nil {
+			d.sys.rec.Record(obs.Event{
+				Cycle: d.sys.eng.Now(), Kind: obs.KindTxnEnd, Sub: uint8(MsgRecall),
+				Node: int16(d.node), Peer: -1, Region: uint64(e.region),
+			})
+		}
 		if len(e.queue) > 0 {
 			e.txn = nil
 			d.popQueue(e)
 		} else {
-			e.busy = false
+			d.clearBusy(e)
 			d.dropEntry(e)
 		}
 		d.sys.freeMsg(m)
@@ -574,13 +627,19 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 // unblock reopens the region after the requester installed its fill
 // and activates the next queued transaction, if any.
 func (d *dirSlice) unblock(e *dirEntry) {
+	if d.sys.rec != nil {
+		d.sys.rec.Record(obs.Event{
+			Cycle: d.sys.eng.Now(), Kind: obs.KindTxnEnd,
+			Node: int16(d.node), Peer: -1, Region: uint64(e.region),
+		})
+	}
 	if d.sys.obs != nil {
 		d.sys.obs.OnTxnEnd(e.region)
 	}
 	if len(e.queue) > 0 {
 		d.popQueue(e)
 	} else {
-		e.busy = false
+		d.clearBusy(e)
 	}
 }
 

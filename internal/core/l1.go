@@ -8,6 +8,7 @@ import (
 	"protozoa/internal/cache"
 	"protozoa/internal/engine"
 	"protozoa/internal/mem"
+	"protozoa/internal/obs"
 	"protozoa/internal/predictor"
 )
 
@@ -271,6 +272,16 @@ func (l *l1Ctrl) startMiss(ms mshr, t MsgType) {
 	ms.issuedAt = l.sys.eng.Now()
 	l.ms = ms
 	l.msLive = true
+	l.sys.mshrLive++
+	if l.sys.lat != nil {
+		l.sys.lat.Issue(l.id, uint64(ms.issuedAt))
+	}
+	if l.sys.rec != nil {
+		l.sys.rec.Record(obs.Event{
+			Cycle: ms.issuedAt, Kind: obs.KindMissStart, Sub: uint8(t),
+			Node: int16(l.id), Peer: -1, Region: uint64(ms.region),
+		})
+	}
 	m := l.sys.newMsg()
 	m.Type = t
 	m.Src = l.id
@@ -281,9 +292,22 @@ func (l *l1Ctrl) startMiss(ms mshr, t MsgType) {
 	l.sys.send(m)
 }
 
-// retireMiss records the completed miss's latency.
+// retireMiss records the completed miss's latency. The breakdown's
+// Complete stamp uses the same Now() as RecordMissLatency, so the
+// phase sums reconcile exactly against stats.AvgMissLatency.
 func (l *l1Ctrl) retireMiss(ms *mshr) {
-	l.sys.st.RecordMissLatency(uint64(l.sys.eng.Now() - ms.issuedAt))
+	now := l.sys.eng.Now()
+	l.sys.st.RecordMissLatency(uint64(now - ms.issuedAt))
+	l.sys.mshrLive--
+	if l.sys.lat != nil {
+		l.sys.lat.Complete(l.id, uint64(now))
+	}
+	if l.sys.rec != nil {
+		l.sys.rec.Record(obs.Event{
+			Cycle: now, Kind: obs.KindMissEnd,
+			Node: int16(l.id), Peer: -1, Region: uint64(ms.region),
+		})
+	}
 }
 
 // recv dispatches a directory-to-L1 message.

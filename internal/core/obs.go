@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"protozoa/internal/obs"
+)
+
+// This file wires the internal/obs observability layer into the
+// machine. Nothing here runs unless the corresponding Enable* method
+// was called before Run; the hot-path emit sites in system.go, l1.go,
+// dir.go and the mesh all guard on a single nil check.
+
+// EnableEventTrace attaches a ring-buffer event recorder holding the
+// most recent capacity events (capacity <= 0 selects the default 1 Mi).
+// Call before Run. The collected events export as a Perfetto-loadable
+// Chrome trace via WriteChromeTrace.
+func (s *System) EnableEventTrace(capacity int) *obs.Recorder {
+	s.rec = obs.NewRecorder(capacity)
+	s.mesh.SetRecorder(s.rec)
+	return s.rec
+}
+
+// Recorder returns the attached event recorder, nil when tracing is
+// disabled.
+func (s *System) Recorder() *obs.Recorder { return s.rec }
+
+// EnableLatencyBreakdown attaches per-transaction phase timing: every
+// miss's life is stamped at issue, directory accept, activation, L2
+// access, last probe ack, and completion. Call before Run.
+func (s *System) EnableLatencyBreakdown() *obs.LatencyBreakdown {
+	s.lat = obs.NewLatencyBreakdown(s.cfg.Cores)
+	return s.lat
+}
+
+// LatencyBreakdown returns the attached breakdown, nil when disabled.
+func (s *System) LatencyBreakdown() *obs.LatencyBreakdown { return s.lat }
+
+// EnableMetrics attaches the metrics registry and registers the
+// machine's standard gauges. The registry is sampled on the timeline
+// tick, so timeline sampling is switched on (at its default interval)
+// if the caller has not configured it. Call before Run.
+func (s *System) EnableMetrics() *obs.Registry {
+	if s.metrics != nil {
+		return s.metrics
+	}
+	r := &obs.Registry{}
+	r.Register("event_queue_depth", "events pending in the engine queue",
+		func() float64 { return float64(s.eng.Pending()) })
+	r.Register("event_queue_high_water", "deepest the engine queue has been",
+		func() float64 { return float64(s.eng.HighWater()) })
+	r.Register("msg_pool_hit_rate", "fraction of messages served from the free list",
+		func() float64 {
+			total := s.poolHits + s.poolAllocs
+			if total == 0 {
+				return 0
+			}
+			return float64(s.poolHits) / float64(total)
+		})
+	r.Register("dir_busy_txns", "regions with an active directory transaction",
+		func() float64 {
+			busy := 0
+			for _, d := range s.dirs {
+				busy += d.busyTxns
+			}
+			return float64(busy)
+		})
+	r.Register("mshr_live", "misses outstanding across all cores",
+		func() float64 { return float64(s.mshrLive) })
+	r.Register("mshr_stall_cycles", "cumulative core cycles stalled on L1 misses",
+		func() float64 { return float64(s.st.MissLatencySum) })
+	r.Register("noc_link_utilization", "flit-hops per link-cycle across the interconnect",
+		func() float64 {
+			cycles := float64(s.eng.Now()) * float64(s.mesh.LinkCount())
+			if cycles == 0 {
+				return 0
+			}
+			return float64(s.st.FlitHops) / cycles
+		})
+	r.Register("noc_link_stall_cycles", "cumulative cycles messages queued behind busy links",
+		func() float64 { return float64(s.st.LinkStallCycles) })
+	s.metrics = r
+	if s.timelineInterval == 0 {
+		s.EnableTimeline(0)
+	}
+	return r
+}
+
+// Metrics returns the attached registry, nil when disabled.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// WriteChromeTrace exports the recorded events as Chrome trace-event
+// JSON (load in Perfetto / chrome://tracing). EnableEventTrace must
+// have been called.
+func (s *System) WriteChromeTrace(w io.Writer) error {
+	if s.rec == nil {
+		return fmt.Errorf("core: event tracing not enabled")
+	}
+	return obs.WriteChromeTrace(w, s.rec.Snapshot(), s.rec.Dropped(), obs.TraceOptions{
+		Process: fmt.Sprintf("protozoa %s", s.cfg.Protocol),
+		SubName: func(k obs.Kind, sub uint8) string {
+			if k == obs.KindLinkStall {
+				return "link-stall"
+			}
+			return MsgType(sub).String()
+		},
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"protozoa/internal/engine"
 	"protozoa/internal/mem"
 	"protozoa/internal/noc"
+	"protozoa/internal/obs"
 	"protozoa/internal/predictor"
 	"protozoa/internal/stats"
 	"protozoa/internal/trace"
@@ -125,6 +126,18 @@ type System struct {
 	obs Observer
 	log *msgLog
 
+	// Observability hooks (internal/obs). All nil/zero unless the
+	// corresponding Enable* method ran; every use site guards with a
+	// single nil check so the disabled path costs one branch.
+	rec     *obs.Recorder
+	lat     *obs.LatencyBreakdown
+	metrics *obs.Registry
+
+	// Pool and occupancy gauges feeding the metrics registry.
+	poolHits   uint64 // newMsg served from the free list
+	poolAllocs uint64 // newMsg had to allocate
+	mshrLive   int    // misses outstanding across all cores
+
 	// nextTxn issues globally unique directory transaction IDs (so
 	// transcripts are unambiguous across tiles).
 	nextTxn uint64
@@ -133,9 +146,11 @@ type System struct {
 	// EnableTransitionAudit was called (nil otherwise).
 	transitions map[Transition]uint64
 
-	// Timeline sampling (EnableTimeline).
+	// Timeline sampling (EnableTimeline). timelineEv is the pre-bound
+	// engine.Runner the sampler reschedules itself through.
 	timelineInterval engine.Cycle
 	timeline         []TimelineSample
+	timelineEv       timelineEvent
 
 	// lastRetire is the cycle the final core finished its stream.
 	lastRetire engine.Cycle
@@ -156,8 +171,10 @@ func (s *System) newMsg() *Msg {
 	if n := len(s.msgPool); n > 0 {
 		m := s.msgPool[n-1]
 		s.msgPool = s.msgPool[:n-1]
+		s.poolHits++
 		return m
 	}
+	s.poolAllocs++
 	return &Msg{sys: s}
 }
 
@@ -251,6 +268,13 @@ func (s *System) send(m *Msg) {
 	if s.log != nil {
 		s.log.record(s.eng.Now(), m)
 	}
+	if s.rec != nil {
+		s.rec.Record(obs.Event{
+			Cycle: s.eng.Now(), Kind: obs.KindMsgSend, Sub: uint8(m.Type),
+			Node: int16(m.Src), Peer: int16(m.Dst),
+			Region: uint64(m.Region), Txn: m.TxnID,
+		})
+	}
 	m.sys = s
 	m.phase = phaseDeliver
 	s.mesh.SendRunner(m.Src, m.Dst, m.VNet(), m.Bytes(), m)
@@ -262,6 +286,13 @@ func (s *System) send(m *Msg) {
 // other message is dead once its handler returns and goes back to the
 // pool here.
 func (s *System) deliver(m *Msg) {
+	if s.rec != nil {
+		s.rec.Record(obs.Event{
+			Cycle: s.eng.Now(), Kind: obs.KindMsgDeliver, Sub: uint8(m.Type),
+			Node: int16(m.Src), Peer: int16(m.Dst),
+			Region: uint64(m.Region), Txn: m.TxnID,
+		})
+	}
 	switch m.Type {
 	case MsgGetS, MsgGetX, MsgUpgrade:
 		s.dirs[m.Dst].recvRequest(m)
@@ -286,7 +317,8 @@ func (s *System) Run() error {
 		s.eng.ScheduleRunner(0, &c.stepEv)
 	}
 	if s.timelineInterval > 0 {
-		s.eng.Schedule(s.timelineInterval, s.sampleTimeline)
+		s.timelineEv.s = s
+		s.eng.ScheduleRunner(s.timelineInterval, &s.timelineEv)
 	}
 	drained := s.eng.Run(s.cfg.MaxEvents)
 	if !drained {

@@ -26,6 +26,13 @@ func (s *System) EnableTimeline(interval engine.Cycle) {
 // Timeline returns the collected samples in time order.
 func (s *System) Timeline() []TimelineSample { return s.timeline }
 
+// timelineEvent is the pre-bound engine.Runner behind sampleTimeline:
+// rescheduling it re-queues the same struct instead of capturing a new
+// closure per sample.
+type timelineEvent struct{ s *System }
+
+func (ev *timelineEvent) Run() { ev.s.sampleTimeline() }
+
 func (s *System) sampleTimeline() {
 	s.timeline = append(s.timeline, TimelineSample{
 		Cycle:    s.eng.Now(),
@@ -34,7 +41,10 @@ func (s *System) sampleTimeline() {
 		Traffic:  s.st.TrafficTotal(),
 		FlitHops: s.st.FlitHops,
 	})
+	if s.metrics != nil {
+		s.metrics.Sample(uint64(s.eng.Now()))
+	}
 	if s.coresDone < s.cfg.Cores {
-		s.eng.Schedule(s.timelineInterval, s.sampleTimeline)
+		s.eng.ScheduleRunner(s.timelineInterval, &s.timelineEv)
 	}
 }

@@ -56,6 +56,7 @@ type Engine struct {
 	now     Cycle
 	seq     uint64
 	events  uint64
+	high    int // deepest the queue has ever been
 	useHeap bool
 	heap    heapQueue
 	bq      bucketQueue
@@ -99,6 +100,9 @@ func (e *Engine) push(it item) {
 	} else {
 		e.bq.push(it)
 	}
+	if p := e.Pending(); p > e.high {
+		e.high = p
+	}
 }
 
 // Schedule runs fn delay cycles from now. Events scheduled for the
@@ -129,6 +133,10 @@ func (e *Engine) ScheduleRunnerAt(at Cycle, r Runner) {
 	}
 	e.push(item{at: at, r: r})
 }
+
+// HighWater reports the deepest the queue has ever been — the
+// event-queue depth gauge the observability registry exposes.
+func (e *Engine) HighWater() int { return e.high }
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int {

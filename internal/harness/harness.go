@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"protozoa/internal/core"
+	"protozoa/internal/obs"
 	"protozoa/internal/runner"
 	"protozoa/internal/stats"
 	"protozoa/internal/workloads"
@@ -88,6 +89,10 @@ type Matrix struct {
 	Workloads []string
 	Protocols []core.Protocol
 	Cells     map[string]map[core.Protocol]*stats.Stats
+
+	// Breakdowns holds each cell's miss-latency phase decomposition,
+	// captured by Collect via the observability layer.
+	Breakdowns map[string]map[core.Protocol]*obs.LatencyBreakdown
 }
 
 // Collect runs the full workload x protocol matrix, fanning the cells
@@ -95,9 +100,10 @@ type Matrix struct {
 // joined error then reports every failing cell at once.
 func Collect(o Options) (*Matrix, error) {
 	m := &Matrix{
-		Workloads: o.workloadList(),
-		Protocols: core.AllProtocols,
-		Cells:     make(map[string]map[core.Protocol]*stats.Stats),
+		Workloads:  o.workloadList(),
+		Protocols:  core.AllProtocols,
+		Cells:      make(map[string]map[core.Protocol]*stats.Stats),
+		Breakdowns: make(map[string]map[core.Protocol]*obs.LatencyBreakdown),
 	}
 	var cells []runner.Cell
 	for _, w := range m.Workloads {
@@ -110,13 +116,24 @@ func Collect(o Options) (*Matrix, error) {
 			})
 		}
 	}
+	// Each worker writes only its own cell's slot; the pool's WaitGroup
+	// publishes the writes before we read them below.
+	lats := make([]*obs.LatencyBreakdown, len(cells))
+	for i := range cells {
+		i := i
+		cells[i].Observe = func(sys *core.System) { lats[i] = sys.EnableLatencyBreakdown() }
+	}
 	results, _ := o.pool().Run(cells)
 	var errs []error
 	i := 0
 	for _, w := range m.Workloads {
 		m.Cells[w] = make(map[core.Protocol]*stats.Stats)
+		m.Breakdowns[w] = make(map[core.Protocol]*obs.LatencyBreakdown)
 		for _, p := range m.Protocols {
 			r := results[i]
+			if r.Err == nil {
+				m.Breakdowns[w][p] = lats[i]
+			}
 			i++
 			if r.Err != nil {
 				errs = append(errs, r.Err)

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"protozoa/internal/obs"
+)
+
+// TestPhaseDecompositionReconciles pins the report's headline
+// invariant through the full Collect path: for every protocol, the
+// merged breakdown's miss count and total cycles equal the stats-side
+// counters, so the rendered phase-sum column equals AvgMissLatency.
+func TestPhaseDecompositionReconciles(t *testing.T) {
+	m := collect(t, "histogram", "swaptions")
+	for _, p := range m.Protocols {
+		lat := m.mergedBreakdown(p)
+		var misses, latSum uint64
+		for _, w := range m.Workloads {
+			st := m.Get(w, p)
+			misses += st.L1Misses
+			latSum += st.MissLatencySum
+			if b := m.Breakdowns[w][p]; b == nil {
+				t.Fatalf("%s/%s: Collect did not capture a breakdown", w, p)
+			}
+		}
+		if lat.Count != misses {
+			t.Errorf("%s: breakdown count %d, stats misses %d", p, lat.Count, misses)
+		}
+		if lat.TotalSum != latSum {
+			t.Errorf("%s: breakdown total %d, stats latency sum %d", p, lat.TotalSum, latSum)
+		}
+		var phases uint64
+		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+			phases += lat.PhaseSum[ph]
+		}
+		if phases != lat.TotalSum {
+			t.Errorf("%s: phases sum to %d, total %d", p, phases, lat.TotalSum)
+		}
+	}
+
+	table := m.PhaseDecomposition()
+	for _, p := range m.Protocols {
+		if !strings.Contains(table, p.String()) {
+			t.Errorf("decomposition table missing protocol %s:\n%s", p, table)
+		}
+	}
+	for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
+		if !strings.Contains(table, ph.String()) {
+			t.Errorf("decomposition table missing phase %s:\n%s", ph, table)
+		}
+	}
+}

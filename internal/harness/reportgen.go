@@ -82,6 +82,11 @@ func GenerateReport(o Options, w io.Writer) error {
 		fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", f.title, f.render())
 	}
 
+	// Observability: where the miss cycles go, per protocol. The phase
+	// averages tile the miss interval, so phase-sum equals avg-lat.
+	fmt.Fprintf(w, "## Miss-latency phase decomposition (avg cycles/miss)\n\n```\n%s```\n\n",
+		m.PhaseDecomposition())
+
 	// Headline summary.
 	fmt.Fprintf(w, "## Headline geomeans vs MESI\n\n")
 	fmt.Fprintf(w, "| metric | SW | SW+MR | MW |\n|---|---|---|---|\n")

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"protozoa/internal/engine"
+	"protozoa/internal/obs"
 	"protozoa/internal/stats"
 )
 
@@ -95,6 +96,26 @@ type Mesh struct {
 	last  []engine.Cycle // per (src*nodes+dst)*numVnets+vnet: last delivery cycle
 	links []engine.Cycle // per from*nodes+to: busy-until (contention mode)
 	nodes int
+	rec   *obs.Recorder // nil unless event tracing is enabled
+}
+
+// SetRecorder attaches an event recorder; contention stalls emit
+// KindLinkStall events into it. Pass nil to detach.
+func (m *Mesh) SetRecorder(rec *obs.Recorder) { m.rec = rec }
+
+// LinkCount reports how many directed links the topology has — the
+// denominator for the link-utilization gauge. Mesh links are the
+// directed nearest-neighbour edges; ring nodes have two neighbours
+// each; the crossbar gives every ordered pair its own link.
+func (m *Mesh) LinkCount() int {
+	switch m.cfg.Topology {
+	case TopoRing:
+		return 2 * m.nodes
+	case TopoCrossbar:
+		return m.nodes * (m.nodes - 1)
+	}
+	x, y := m.cfg.DimX, m.cfg.DimY
+	return 2 * (x*(y-1) + y*(x-1))
 }
 
 // New builds a mesh over the given engine, accruing network counters
@@ -279,6 +300,15 @@ func (m *Mesh) reserve(src, dst int, flits int) engine.Cycle {
 	base := m.eng.Now() + m.Latency(src, dst, flits*m.cfg.FlitBytes)
 	if arrival > base {
 		m.st.LinkStallCycles += uint64(arrival - base)
+		if m.rec != nil {
+			m.rec.Record(obs.Event{
+				Cycle: m.eng.Now(),
+				Kind:  obs.KindLinkStall,
+				Node:  int16(src),
+				Peer:  int16(dst),
+				Txn:   uint64(arrival - base),
+			})
+		}
 	}
 	return arrival
 }

@@ -1,0 +1,207 @@
+package obs
+
+import "fmt"
+
+// Phase is one segment of a coherence transaction's life, from the L1
+// issuing the miss to the fill (or grant) installing. The five phases
+// tile the interval exactly, so their per-miss sums always add up to
+// the miss's total latency — the invariant the report checks against
+// stats.AvgMissLatency.
+type Phase uint8
+
+const (
+	// PhaseReqNoC is the request's network flight: L1 issue to the
+	// home directory accepting (or queueing) it.
+	PhaseReqNoC Phase = iota
+	// PhaseDirQueue is time spent queued behind an earlier transaction
+	// on the same region (zero when the region was idle).
+	PhaseDirQueue
+	// PhaseL2Access is the directory's L2 lookup, including the
+	// one-time memory fetch on a region's first touch.
+	PhaseL2Access
+	// PhaseFanOut is the probe round trip: FWD/INV fan-out until the
+	// last ack returns (zero when no sharer needed probing).
+	PhaseFanOut
+	// PhaseData is response assembly and flight until the L1 installs
+	// the fill (or applies the upgrade grant).
+	PhaseData
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"req-noc", "dir-queue", "l2-access", "fanout-acks", "data-fill",
+}
+
+// String names the phase.
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "Phase(?)"
+}
+
+// Fixed-bucket total-latency histogram geometry: LatBuckets buckets of
+// LatBucketWidth cycles each; the last bucket absorbs the overflow.
+const (
+	LatBucketWidth = 32
+	LatBuckets     = 128
+)
+
+// txnStamps is one in-flight miss's phase timestamps, slotted per core
+// (the in-order cores have one outstanding miss each). A reissued
+// upgrade overwrites the directory-side stamps; Complete clamps the
+// chain monotone, so the first round's time folds into PhaseReqNoC and
+// the phases still sum to the true miss latency.
+type txnStamps struct {
+	issue     uint64
+	dirAccept uint64
+	activate  uint64
+	process   uint64
+	lastAck   uint64
+	live      bool
+}
+
+// LatencyBreakdown accumulates per-phase miss-latency sums and a
+// fixed-bucket histogram of total latency, per system (one protocol).
+type LatencyBreakdown struct {
+	open []txnStamps // per core
+
+	PhaseSum [NumPhases]uint64
+	Count    uint64
+	TotalSum uint64
+	MaxLat   uint64
+	Hist     [LatBuckets]uint64
+}
+
+// NewLatencyBreakdown sizes the per-core stamp table.
+func NewLatencyBreakdown(cores int) *LatencyBreakdown {
+	return &LatencyBreakdown{open: make([]txnStamps, cores)}
+}
+
+// Issue stamps a miss leaving core's L1.
+func (l *LatencyBreakdown) Issue(core int, now uint64) {
+	l.open[core] = txnStamps{issue: now, live: true}
+}
+
+// DirAccept stamps the home directory receiving the request.
+func (l *LatencyBreakdown) DirAccept(core int, now uint64) {
+	l.open[core].dirAccept = now
+}
+
+// Activate stamps the request leaving the region's queue.
+func (l *LatencyBreakdown) Activate(core int, now uint64) {
+	l.open[core].activate = now
+}
+
+// Process stamps the directory state machine running (L2 access paid).
+func (l *LatencyBreakdown) Process(core int, now uint64) {
+	l.open[core].process = now
+}
+
+// LastAck stamps the final probe reply retiring the fan-out.
+func (l *LatencyBreakdown) LastAck(core int, now uint64) {
+	l.open[core].lastAck = now
+}
+
+// Complete closes the miss at fill/grant time and accrues its phases.
+// Stamps are clamped into a monotone chain so a stale stamp from an
+// abandoned round (upgrade reissue) can never produce a negative
+// phase; the clamped diffs always sum to now - issue.
+func (l *LatencyBreakdown) Complete(core int, now uint64) {
+	o := &l.open[core]
+	if !o.live {
+		return
+	}
+	o.live = false
+	chain := [NumPhases + 1]uint64{o.issue, o.dirAccept, o.activate, o.process, o.lastAck, now}
+	for i := 1; i <= int(NumPhases); i++ {
+		if chain[i] < chain[i-1] {
+			chain[i] = chain[i-1]
+		}
+	}
+	for p := 0; p < int(NumPhases); p++ {
+		l.PhaseSum[p] += chain[p+1] - chain[p]
+	}
+	total := now - o.issue
+	l.Count++
+	l.TotalSum += total
+	if total > l.MaxLat {
+		l.MaxLat = total
+	}
+	b := total / LatBucketWidth
+	if b >= LatBuckets {
+		b = LatBuckets - 1
+	}
+	l.Hist[b]++
+}
+
+// Merge folds another breakdown's accumulated totals into l (the open
+// stamp tables are not merged; merge finished runs only).
+func (l *LatencyBreakdown) Merge(other *LatencyBreakdown) {
+	for p := range l.PhaseSum {
+		l.PhaseSum[p] += other.PhaseSum[p]
+	}
+	l.Count += other.Count
+	l.TotalSum += other.TotalSum
+	if other.MaxLat > l.MaxLat {
+		l.MaxLat = other.MaxLat
+	}
+	for b := range l.Hist {
+		l.Hist[b] += other.Hist[b]
+	}
+}
+
+// AvgPhase is the mean cycles per completed miss spent in the phase.
+func (l *LatencyBreakdown) AvgPhase(p Phase) float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return float64(l.PhaseSum[p]) / float64(l.Count)
+}
+
+// AvgTotal is the mean total miss latency; by construction it equals
+// the sum of the per-phase averages.
+func (l *LatencyBreakdown) AvgTotal() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return float64(l.TotalSum) / float64(l.Count)
+}
+
+// Percentile returns the upper bound of the histogram bucket holding
+// the p-th percentile (p in (0,100]), clamped to the observed maximum.
+func (l *LatencyBreakdown) Percentile(p float64) uint64 {
+	if l.Count == 0 {
+		return 0
+	}
+	threshold := uint64(float64(l.Count) * p / 100)
+	if threshold == 0 {
+		threshold = 1
+	}
+	var cum uint64
+	for b, c := range l.Hist {
+		cum += c
+		if cum >= threshold {
+			bound := uint64(b+1) * LatBucketWidth
+			if b == LatBuckets-1 || bound > l.MaxLat {
+				// The overflow bucket is unbounded above; report the
+				// observed maximum (likewise when the bucket edge
+				// exceeds every recorded latency).
+				bound = l.MaxLat
+			}
+			return bound
+		}
+	}
+	return l.MaxLat
+}
+
+// Row renders the decomposition as one aligned text line: per-phase
+// averages, the total, and the latency tail.
+func (l *LatencyBreakdown) Row() string {
+	s := ""
+	for p := Phase(0); p < NumPhases; p++ {
+		s += fmt.Sprintf(" %11.1f", l.AvgPhase(p))
+	}
+	return s + fmt.Sprintf(" %11.1f  p50<=%-6d p95<=%-6d p99<=%-6d",
+		l.AvgTotal(), l.Percentile(50), l.Percentile(95), l.Percentile(99))
+}

@@ -1,0 +1,125 @@
+package obs
+
+import "testing"
+
+func TestLatencyPhasesSumToTotal(t *testing.T) {
+	l := NewLatencyBreakdown(2)
+	l.Issue(0, 100)
+	l.DirAccept(0, 110)
+	l.Activate(0, 110)
+	l.Process(0, 124)
+	l.LastAck(0, 160)
+	l.Complete(0, 175)
+
+	if l.Count != 1 {
+		t.Fatalf("count %d", l.Count)
+	}
+	want := map[Phase]uint64{
+		PhaseReqNoC:   10,
+		PhaseDirQueue: 0,
+		PhaseL2Access: 14,
+		PhaseFanOut:   36,
+		PhaseData:     15,
+	}
+	var sum uint64
+	for p, w := range want {
+		if l.PhaseSum[p] != w {
+			t.Errorf("%s = %d, want %d", p, l.PhaseSum[p], w)
+		}
+		sum += l.PhaseSum[p]
+	}
+	if sum != 75 || l.TotalSum != 75 {
+		t.Fatalf("phase sum %d / total %d, want 75", sum, l.TotalSum)
+	}
+}
+
+// TestLatencyStaleStampClamped models the upgrade-reissue race: the
+// second round's directory stamps come after a stale LastAck from the
+// abandoned first round. The clamped chain must keep every phase
+// non-negative and still sum to the full latency.
+func TestLatencyStaleStampClamped(t *testing.T) {
+	l := NewLatencyBreakdown(1)
+	l.Issue(0, 0)
+	l.DirAccept(0, 10)
+	l.Activate(0, 10)
+	l.Process(0, 24)
+	l.LastAck(0, 50) // first round's fan-out
+	// Grant failed; retry observed by the directory:
+	l.DirAccept(0, 80)
+	l.Activate(0, 81)
+	l.Process(0, 95)
+	// No probes this round: lastAck (50) is now stale, behind process.
+	l.Complete(0, 120)
+
+	var sum uint64
+	for p := Phase(0); p < NumPhases; p++ {
+		sum += l.PhaseSum[p]
+	}
+	if sum != 120 || l.TotalSum != 120 {
+		t.Fatalf("phases sum to %d (total %d), want 120", sum, l.TotalSum)
+	}
+	if l.PhaseSum[PhaseFanOut] != 0 {
+		t.Errorf("stale LastAck produced fan-out time %d, want 0", l.PhaseSum[PhaseFanOut])
+	}
+	if l.PhaseSum[PhaseData] != 25 {
+		t.Errorf("data phase %d, want 25 (120-95)", l.PhaseSum[PhaseData])
+	}
+}
+
+func TestLatencyCompleteWithoutIssueIgnored(t *testing.T) {
+	l := NewLatencyBreakdown(1)
+	l.Complete(0, 99)
+	if l.Count != 0 {
+		t.Fatal("complete without live miss must not accrue")
+	}
+	// Double-complete: second is a no-op.
+	l.Issue(0, 0)
+	l.Complete(0, 10)
+	l.Complete(0, 20)
+	if l.Count != 1 || l.TotalSum != 10 {
+		t.Fatalf("count=%d total=%d after double complete", l.Count, l.TotalSum)
+	}
+}
+
+func TestLatencyPercentilesAndMerge(t *testing.T) {
+	a := NewLatencyBreakdown(1)
+	// 90 fast misses at ~16 cycles, 10 slow at ~1000.
+	for i := 0; i < 90; i++ {
+		a.Issue(0, 0)
+		a.Complete(0, 16)
+	}
+	b := NewLatencyBreakdown(1)
+	for i := 0; i < 10; i++ {
+		b.Issue(0, 0)
+		b.Complete(0, 1000)
+	}
+	a.Merge(b)
+	if a.Count != 100 {
+		t.Fatalf("merged count %d", a.Count)
+	}
+	if p50 := a.Percentile(50); p50 != LatBucketWidth {
+		t.Errorf("p50 = %d, want %d (upper bound of the first bucket)", p50, LatBucketWidth)
+	}
+	if p95 := a.Percentile(95); p95 != 1000 {
+		t.Errorf("p95 = %d, want 1000", p95)
+	}
+	if p99 := a.Percentile(99); p99 != 1000 {
+		t.Errorf("p99 = %d, want 1000", p99)
+	}
+	if got := a.AvgTotal(); got != (90*16+10*1000)/100.0 {
+		t.Errorf("avg %f", got)
+	}
+}
+
+func TestLatencyOverflowBucket(t *testing.T) {
+	l := NewLatencyBreakdown(1)
+	huge := uint64(LatBuckets*LatBucketWidth) * 3
+	l.Issue(0, 0)
+	l.Complete(0, huge)
+	if l.Hist[LatBuckets-1] != 1 {
+		t.Fatal("overflow latency not in last bucket")
+	}
+	if p := l.Percentile(99); p != huge {
+		t.Fatalf("overflow percentile %d, want clamped max %d", p, huge)
+	}
+}

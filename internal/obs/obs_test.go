@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+
+	"protozoa/internal/engine"
+)
+
+func ev(cycle uint64, k Kind, node int16) Event {
+	return Event{Cycle: engine.Cycle(cycle), Kind: k, Node: node, Peer: -1}
+}
+
+func TestRecorderNoWrap(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Record(ev(uint64(i), KindMissStart, int16(i)))
+	}
+	if r.Len() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want 5/0", r.Len(), r.Dropped())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d events", len(snap))
+	}
+	for i, e := range snap {
+		if e.Cycle != engine.Cycle(i) {
+			t.Fatalf("event %d at cycle %d, want %d", i, e.Cycle, i)
+		}
+	}
+}
+
+func TestRecorderWrapKeepsNewest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(ev(uint64(i), KindMsgSend, 0))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len=%d, want capacity 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped=%d, want 6", r.Dropped())
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if want := engine.Cycle(6 + i); e.Cycle != want {
+			t.Fatalf("snapshot[%d] cycle %d, want %d (oldest-first after wrap)", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestRecorderDefaultCap(t *testing.T) {
+	r := NewRecorder(0)
+	if len(r.buf) != DefaultRecorderCap {
+		t.Fatalf("default capacity %d, want %d", len(r.buf), DefaultRecorderCap)
+	}
+}
+
+// TestRecordDoesNotAllocate is the zero-cost contract: recording into
+// the preallocated ring performs no heap allocation.
+func TestRecordDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(1024)
+	e := ev(1, KindMsgSend, 3)
+	allocs := testing.AllocsPerRun(1000, func() { r.Record(e) })
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	if KindMsgSend.String() != "msg-send" || KindLinkStall.String() != "link-stall" {
+		t.Fatal("kind names wrong")
+	}
+	if numKinds != Kind(len(kindNames)) {
+		t.Fatal("kindNames out of sync with kinds")
+	}
+}

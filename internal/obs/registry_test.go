@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRegistrySampling(t *testing.T) {
+	var r Registry
+	depth := 0.0
+	r.Register("queue_depth", "events pending", func() float64 { return depth })
+	r.Register("hits", "pool hits", func() float64 { return 42 })
+
+	depth = 3
+	r.Sample(100)
+	depth = 7
+	r.Sample(200)
+
+	s := r.Samples()
+	if len(s) != 2 {
+		t.Fatalf("%d samples", len(s))
+	}
+	if s[0].Cycle != 100 || s[0].Values[0] != 3 || s[1].Values[0] != 7 {
+		t.Fatalf("sample rows wrong: %+v", s)
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "queue_depth" {
+		t.Fatalf("names %v", got)
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndLateRegistration(t *testing.T) {
+	var r Registry
+	r.Register("a", "", func() float64 { return 0 })
+	mustPanic(t, "duplicate", func() { r.Register("a", "", func() float64 { return 0 }) })
+	r.Sample(1)
+	mustPanic(t, "late registration", func() { r.Register("b", "", func() float64 { return 0 }) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	var r Registry
+	v := 1.5
+	r.Register("gauge", "a gauge", func() float64 { return v })
+	r.Sample(10)
+	v = 2.5
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc MetricsDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics.json does not parse: %v", err)
+	}
+	if len(doc.Metrics) != 1 || doc.Metrics[0].Name != "gauge" || doc.Metrics[0].Help != "a gauge" {
+		t.Fatalf("descriptors wrong: %+v", doc.Metrics)
+	}
+	if len(doc.Samples) != 1 || doc.Samples[0].Values[0] != 1.5 {
+		t.Fatalf("samples wrong: %+v", doc.Samples)
+	}
+	if doc.Final["gauge"] != 2.5 {
+		t.Fatalf("final values wrong: %+v", doc.Final)
+	}
+}
+
+func TestRegistryEmptySamplesMarshalsAsArray(t *testing.T) {
+	var r Registry
+	r.Register("g", "", func() float64 { return 0 })
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"samples": []`)) {
+		t.Fatalf("samples must be [] not null:\n%s", buf.String())
+	}
+}

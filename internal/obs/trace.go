@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: the recorder's ring renders as a JSON
+// trace loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Simulated cycles map 1:1 onto trace microseconds. Layout:
+//
+//   - one track per core (tid = core): L1 miss slices, named by the
+//     request type, plus every message arriving at the tile;
+//   - one track per directory slice (tid = DirTrackBase + tile):
+//     transaction-occupancy slices from activation to unblock;
+//   - message flights as complete events on the destination track,
+//     spanning send to delivery, with src/dst/region/txn in args.
+//
+// Start/end events are paired at export time (the hot path records
+// flat instants only); ends whose start was overwritten by ring wrap
+// degrade to instant events rather than being dropped.
+
+// DirTrackBase offsets directory-track thread IDs past any plausible
+// core ID so the two groups sort apart in the viewer.
+const DirTrackBase = 4096
+
+// TraceOptions names the trace's tracks and event subtypes.
+type TraceOptions struct {
+	// SubName renders an event's Sub field (e.g. the coherence message
+	// type) for slice names; nil falls back to a numeric form.
+	SubName func(k Kind, sub uint8) string
+	// Process names the trace's single process; empty = "protozoa".
+	Process string
+}
+
+func (o TraceOptions) subName(k Kind, sub uint8) string {
+	if o.SubName != nil {
+		return o.SubName(k, sub)
+	}
+	return fmt.Sprintf("sub%d", sub)
+}
+
+// ChromeEvent is one trace-event JSON object. Exported so tests (and
+// the trace-smoke tool) can round-trip a written trace.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON document.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// BuildChromeTrace pairs the recorder's events into slices and returns
+// the trace document. Events must be oldest-first (Recorder.Snapshot
+// order).
+func BuildChromeTrace(events []Event, dropped uint64, opt TraceOptions) *ChromeTrace {
+	tr := &ChromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"clock":          "1 simulated cycle = 1us",
+			"dropped_events": dropped,
+		},
+	}
+	if opt.Process == "" {
+		opt.Process = "protozoa"
+	}
+	tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": opt.Process},
+	})
+	namedTracks := map[int]bool{}
+	track := func(tid int) {
+		if namedTracks[tid] {
+			return
+		}
+		namedTracks[tid] = true
+		name := fmt.Sprintf("core %d", tid)
+		if tid >= DirTrackBase {
+			name = fmt.Sprintf("dir %d", tid-DirTrackBase)
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	type msgKey struct {
+		src, dst int16
+		sub      uint8
+	}
+	type txnKey struct {
+		node   int16
+		region uint64
+	}
+	// Pending starts awaiting their end event. Message channels are
+	// FIFO per (src, dst, type) — the mesh's ordering guarantee — so a
+	// queue per key pairs sends to deliveries in order.
+	msgQ := map[msgKey][]Event{}
+	missOpen := map[int16]Event{}
+	txnOpen := map[txnKey]Event{}
+
+	emit := func(ev ChromeEvent) {
+		track(ev.Tid)
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+	instant := func(e Event, name string, tid int) {
+		emit(ChromeEvent{
+			Name: name, Ph: "i", Ts: uint64(e.Cycle), Pid: 0, Tid: tid, S: "t",
+			Args: eventArgs(e),
+		})
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindMsgSend:
+			k := msgKey{e.Node, e.Peer, e.Sub}
+			msgQ[k] = append(msgQ[k], e)
+		case KindMsgDeliver:
+			k := msgKey{e.Node, e.Peer, e.Sub}
+			name := opt.subName(e.Kind, e.Sub)
+			if q := msgQ[k]; len(q) > 0 {
+				send := q[0]
+				msgQ[k] = q[1:]
+				emit(ChromeEvent{
+					Name: name, Ph: "X", Ts: uint64(send.Cycle),
+					Dur: uint64(e.Cycle - send.Cycle), Pid: 0, Tid: int(e.Peer),
+					Args: eventArgs(e),
+				})
+			} else {
+				// The matching send was overwritten by ring wrap.
+				instant(e, name, int(e.Peer))
+			}
+		case KindMissStart:
+			missOpen[e.Node] = e
+		case KindMissEnd:
+			if start, ok := missOpen[e.Node]; ok {
+				delete(missOpen, e.Node)
+				emit(ChromeEvent{
+					Name: "miss " + opt.subName(KindMissStart, start.Sub),
+					Ph:   "X", Ts: uint64(start.Cycle),
+					Dur: uint64(e.Cycle - start.Cycle), Pid: 0, Tid: int(e.Node),
+					Args: eventArgs(start),
+				})
+			} else {
+				instant(e, "miss-end", int(e.Node))
+			}
+		case KindTxnStart:
+			txnOpen[txnKey{e.Node, e.Region}] = e
+		case KindTxnEnd:
+			k := txnKey{e.Node, e.Region}
+			if start, ok := txnOpen[k]; ok {
+				delete(txnOpen, k)
+				emit(ChromeEvent{
+					Name: "txn " + opt.subName(KindTxnStart, start.Sub),
+					Ph:   "X", Ts: uint64(start.Cycle),
+					Dur: uint64(e.Cycle - start.Cycle), Pid: 0,
+					Tid:  DirTrackBase + int(e.Node),
+					Args: eventArgs(start),
+				})
+			} else {
+				instant(e, "txn-end", DirTrackBase+int(e.Node))
+			}
+		case KindLinkStall:
+			instant(e, "link-stall", int(e.Node))
+		default:
+			instant(e, e.Kind.String(), int(e.Node))
+		}
+	}
+	// Starts with no recorded end (in flight when recording stopped)
+	// degrade to instants so nothing silently vanishes.
+	for _, q := range msgQ {
+		for _, e := range q {
+			instant(e, opt.subName(e.Kind, e.Sub), int(e.Node))
+		}
+	}
+	for _, e := range missOpen {
+		instant(e, "miss-start", int(e.Node))
+	}
+	for _, e := range txnOpen {
+		instant(e, "txn-start", DirTrackBase+int(e.Node))
+	}
+	return tr
+}
+
+func eventArgs(e Event) map[string]any {
+	a := map[string]any{"region": e.Region}
+	if e.Peer >= 0 {
+		a["src"] = e.Node
+		a["dst"] = e.Peer
+	}
+	if e.Txn != 0 {
+		a["txn"] = e.Txn
+	}
+	return a
+}
+
+// WriteChromeTrace builds the trace and writes it as indented JSON.
+func WriteChromeTrace(w io.Writer, events []Event, dropped uint64, opt TraceOptions) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildChromeTrace(events, dropped, opt))
+}

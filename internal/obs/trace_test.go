@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"protozoa/internal/engine"
+)
+
+func msgPair(sendAt, deliverAt uint64, sub uint8, src, dst int16, region uint64) []Event {
+	return []Event{
+		{Cycle: engine.Cycle(sendAt), Kind: KindMsgSend, Sub: sub, Node: src, Peer: dst, Region: region},
+		{Cycle: engine.Cycle(deliverAt), Kind: KindMsgDeliver, Sub: sub, Node: src, Peer: dst, Region: region},
+	}
+}
+
+func TestChromeTracePairsSlices(t *testing.T) {
+	var events []Event
+	events = append(events, Event{Cycle: 10, Kind: KindMissStart, Sub: 1, Node: 2, Peer: -1, Region: 7})
+	events = append(events, msgPair(10, 24, 1, 2, 5, 7)...)
+	events = append(events, Event{Cycle: 24, Kind: KindTxnStart, Sub: 1, Node: 5, Peer: -1, Region: 7, Txn: 3})
+	events = append(events, Event{Cycle: 60, Kind: KindTxnEnd, Node: 5, Peer: -1, Region: 7, Txn: 3})
+	events = append(events, Event{Cycle: 55, Kind: KindMissEnd, Node: 2, Peer: -1, Region: 7})
+
+	tr := BuildChromeTrace(events, 0, TraceOptions{
+		SubName: func(k Kind, sub uint8) string { return "GETX" },
+	})
+
+	var miss, msg, txn *ChromeEvent
+	for i := range tr.TraceEvents {
+		e := &tr.TraceEvents[i]
+		switch e.Name {
+		case "miss GETX":
+			miss = e
+		case "GETX":
+			msg = e
+		case "txn GETX":
+			txn = e
+		}
+	}
+	if miss == nil || miss.Ph != "X" || miss.Ts != 10 || miss.Dur != 45 || miss.Tid != 2 {
+		t.Fatalf("miss slice wrong: %+v", miss)
+	}
+	if msg == nil || msg.Ph != "X" || msg.Ts != 10 || msg.Dur != 14 || msg.Tid != 5 {
+		t.Fatalf("message flight wrong: %+v", msg)
+	}
+	if txn == nil || txn.Ph != "X" || txn.Ts != 24 || txn.Dur != 36 || txn.Tid != DirTrackBase+5 {
+		t.Fatalf("txn slice wrong: %+v", txn)
+	}
+	// Track metadata: core 2, dir 5, and the dst core 5 must be named.
+	names := map[int]string{}
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			names[e.Tid] = e.Args["name"].(string)
+		}
+	}
+	if names[2] != "core 2" || names[DirTrackBase+5] != "dir 5" {
+		t.Fatalf("track names wrong: %v", names)
+	}
+}
+
+func TestChromeTraceUnmatchedDegradesToInstant(t *testing.T) {
+	events := []Event{
+		// A deliver whose send was overwritten by ring wrap, and a send
+		// still in flight when recording stopped.
+		{Cycle: 5, Kind: KindMsgDeliver, Sub: 0, Node: 1, Peer: 2},
+		{Cycle: 9, Kind: KindMsgSend, Sub: 0, Node: 2, Peer: 3},
+		{Cycle: 9, Kind: KindMissStart, Sub: 0, Node: 4, Peer: -1},
+	}
+	tr := BuildChromeTrace(events, 12, TraceOptions{})
+	instants := 0
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "i" {
+			instants++
+		}
+		if e.Ph == "X" {
+			t.Fatalf("unmatched events must not produce slices: %+v", e)
+		}
+	}
+	if instants != 3 {
+		t.Fatalf("%d instants, want 3", instants)
+	}
+	if tr.OtherData["dropped_events"] != uint64(12) {
+		t.Fatalf("dropped_events missing: %v", tr.OtherData)
+	}
+}
+
+// TestChromeTraceRoundTrip is the acceptance check: the written JSON
+// parses back into the same document.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	var events []Event
+	events = append(events, msgPair(0, 9, 2, 0, 3, 11)...)
+	events = append(events, msgPair(12, 30, 5, 3, 0, 11)...)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, 0, TraceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var parsed ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("written trace does not parse: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" || len(parsed.TraceEvents) == 0 {
+		t.Fatalf("parsed trace incomplete: %+v", parsed)
+	}
+	again, err := json.Marshal(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reparsed ChromeTrace
+	if err := json.Unmarshal(again, &reparsed); err != nil {
+		t.Fatalf("re-marshalled trace does not parse: %v", err)
+	}
+	if len(reparsed.TraceEvents) != len(parsed.TraceEvents) {
+		t.Fatalf("round trip lost events: %d vs %d", len(reparsed.TraceEvents), len(parsed.TraceEvents))
+	}
+}

@@ -90,6 +90,7 @@ func (g Grid) Cells() ([]Cell, error) {
 var CSVHeader = []string{
 	"workload", "protocol", "knob", "region_bytes",
 	"misses", "mpki", "traffic_bytes", "used_pct", "flit_hops", "exec_cycles",
+	"miss_lat_p50", "miss_lat_p95", "miss_lat_p99",
 }
 
 // CSVRow renders one completed cell as a sweep CSV record.
@@ -103,6 +104,9 @@ func CSVRow(r Result) []string {
 		strconv.FormatFloat(st.UsedPct(), 'f', 1, 64),
 		strconv.FormatUint(st.FlitHops, 10),
 		strconv.FormatUint(st.ExecCycles, 10),
+		strconv.FormatUint(st.MissLatencyP(50), 10),
+		strconv.FormatUint(st.MissLatencyP(95), 10),
+		strconv.FormatUint(st.MissLatencyP(99), 10),
 	}
 }
 

@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/csv"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"protozoa/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestSweepCSVGolden pins the sweep CSV byte-for-byte: schema order,
+// number formatting, and the miss-latency percentile columns. The
+// simulator is deterministic, so any drift here is a real output
+// change — regenerate deliberately with `go test -run Golden -update`.
+func TestSweepCSVGolden(t *testing.T) {
+	g := Grid{
+		Workloads: []string{"histogram"},
+		Protocols: []core.Protocol{core.MESI, core.ProtozoaMW},
+		Regions:   []int{64},
+		Cores:     4,
+		Scale:     1,
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, sum := Pool{Jobs: 1}.Run(cells)
+	if sum.Failed != 0 {
+		t.Fatalf("%d cells failed", sum.Failed)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "sweep_golden.csv")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("sweep CSV drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+// TestSweepCSVLatencyColumns checks the percentile columns are present,
+// ordered p50 <= p95 <= p99, and consistent with the cell's stats.
+func TestSweepCSVLatencyColumns(t *testing.T) {
+	g := Grid{
+		Workloads: []string{"histogram"},
+		Protocols: []core.Protocol{core.MESI},
+		Regions:   []int{64},
+		Cores:     4,
+		Scale:     1,
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, sum := Pool{Jobs: 1}.Run(cells)
+	if sum.Failed != 0 {
+		t.Fatalf("%d cells failed", sum.Failed)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	for _, name := range []string{"miss_lat_p50", "miss_lat_p95", "miss_lat_p99"} {
+		if _, ok := col[name]; !ok {
+			t.Fatalf("header missing %s: %v", name, rows[0])
+		}
+	}
+	row := rows[1]
+	p50, _ := strconv.ParseUint(row[col["miss_lat_p50"]], 10, 64)
+	p95, _ := strconv.ParseUint(row[col["miss_lat_p95"]], 10, 64)
+	p99, _ := strconv.ParseUint(row[col["miss_lat_p99"]], 10, 64)
+	if p50 == 0 || p50 > p95 || p95 > p99 {
+		t.Errorf("percentiles not ordered: p50=%d p95=%d p99=%d", p50, p95, p99)
+	}
+	st := results[0].Stats
+	if p50 != st.MissLatencyP(50) || p95 != st.MissLatencyP(95) || p99 != st.MissLatencyP(99) {
+		t.Errorf("CSV percentiles disagree with stats: %d/%d/%d vs %d/%d/%d",
+			p50, p95, p99, st.MissLatencyP(50), st.MissLatencyP(95), st.MissLatencyP(99))
+	}
+}
