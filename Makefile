@@ -3,7 +3,8 @@
 # simulator hot path (core protocol + cache storage), a 1-iteration
 # benchmark smoke so throughput regressions that crash or deadlock are
 # caught before they reach a real benchmarking session, and the
-# observability smoke (trace + metrics JSON must parse).
+# observability smoke (trace + metrics JSON must parse, live metrics
+# endpoint must serve Prometheus text during a run).
 verify:
 	go build ./...
 	go vet ./...
@@ -11,7 +12,7 @@ verify:
 	go test -race ./internal/runner ./internal/engine
 	go test -race ./internal/core ./internal/cache
 	go test -run '^$$' -bench SimulatorThroughput -benchtime 1x .
-	$(MAKE) trace-smoke
+	$(MAKE) obs-smoke
 
 # trace-smoke: a 1-iteration simulation with event tracing and the
 # metrics registry enabled, validating both JSON artifacts parse
@@ -25,10 +26,33 @@ trace-smoke:
 	python3 -m json.tool /tmp/protozoa-smoke/metrics.json > /dev/null
 	@echo "trace-smoke: trace.json and metrics.json parse OK"
 
+# obs-smoke: trace-smoke plus a live scrape — run protozoa-sim with
+# -serve, curl /metrics mid-run, and validate every non-comment line is
+# Prometheus `name value` text including the attribution gauges.
+obs-smoke: trace-smoke
+	@mkdir -p /tmp/protozoa-smoke
+	go build -o /tmp/protozoa-smoke/protozoa-sim ./cmd/protozoa-sim
+	@/tmp/protozoa-smoke/protozoa-sim -workload histogram -protocol mw \
+		-cores 16 -scale 60 -serve 127.0.0.1:18099 > /dev/null 2>/tmp/protozoa-smoke/serve.err & \
+	pid=$$!; \
+	ok=0; \
+	for i in $$(seq 1 100); do \
+		if curl -sf http://127.0.0.1:18099/metrics > /tmp/protozoa-smoke/metrics.prom 2>/dev/null \
+			&& grep -q '^protozoa_snapshots_total [1-9]' /tmp/protozoa-smoke/metrics.prom; then ok=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	wait $$pid || { echo "obs-smoke: simulator failed"; cat /tmp/protozoa-smoke/serve.err; exit 1; }; \
+	[ $$ok -eq 1 ] || { echo "obs-smoke: live endpoint never answered"; exit 1; }
+	@grep -q '^protozoa_attrib_fetched_words ' /tmp/protozoa-smoke/metrics.prom \
+		|| { echo "obs-smoke: attribution gauges missing"; exit 1; }
+	@awk '!/^#/ { if (NF != 2 || $$1 !~ /^protozoa_[a-zA-Z0-9_:]+$$/ || $$2 !~ /^[0-9.eE+-]+$$/) \
+		{ print "obs-smoke: bad metrics line: " $$0; exit 1 } }' /tmp/protozoa-smoke/metrics.prom
+	@echo "obs-smoke: live /metrics served valid Prometheus text mid-run"
+
 # bench runs the simulator throughput benchmark with allocation
 # accounting in a benchstat-friendly shape (-count 5). Compare against
 # the committed BENCH_2.json numbers after hot-path changes.
 bench:
 	go test -run '^$$' -bench SimulatorThroughput -benchmem -benchtime 2s -count 5 .
 
-.PHONY: verify bench trace-smoke
+.PHONY: verify bench trace-smoke obs-smoke

@@ -4,12 +4,17 @@
 package cmd_test
 
 import (
+	"bufio"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 var tools = []string{
@@ -43,6 +48,95 @@ func mustSelfDir(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return wd
+}
+
+// startServing launches a -serve driver, parses the advertised
+// endpoint address off its stderr, and registers a kill on cleanup.
+func startServing(t *testing.T, cmd *exec.Cmd, toolName string) string {
+	t.Helper()
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	marker := toolName + ": serving live metrics at http://"
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, marker) {
+			continue
+		}
+		addr := strings.TrimSuffix(strings.TrimPrefix(line, marker), "/metrics")
+		// Drain the rest of stderr so the child never blocks on a full pipe.
+		go io.Copy(io.Discard, stderr)
+		return addr
+	}
+	t.Fatalf("%s never advertised its metrics endpoint (scan err: %v)", toolName, sc.Err())
+	return ""
+}
+
+// scrapeMetrics polls GET /metrics while the run is in flight until a
+// body with at least one published snapshot arrives.
+func scrapeMetrics(t *testing.T, addr string) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK &&
+			!strings.Contains(string(body), "protozoa_snapshots_total 0") {
+			return string(body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("no published metrics snapshot before the deadline")
+	return ""
+}
+
+// checkPrometheusFormat validates the text exposition format: every
+// non-comment line is "name value" with a parseable float.
+func checkPrometheusFormat(t *testing.T, body string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("metrics line not `name value`: %q", line)
+			continue
+		}
+		if !strings.HasPrefix(fields[0], "protozoa_") {
+			t.Errorf("metric %q missing protozoa_ prefix", fields[0])
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Errorf("metric %q value %q: %v", fields[0], fields[1], err)
+		}
+	}
+}
+
+// waitEndpointDown asserts the endpoint stops answering once the
+// driver exits (graceful shutdown, no leaked listener).
+func waitEndpointDown(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			return
+		}
+		resp.Body.Close()
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Error("metrics endpoint still answering after the driver exited")
 }
 
 func run(t *testing.T, bin string, args ...string) string {
@@ -187,6 +281,52 @@ func TestCLIs(t *testing.T) {
 		if n := strings.Count(serial, "\n"); n != 25 { // header + 24 rows, no duplicated MESI
 			t.Errorf("sweep grid emitted %d lines, want 25:\n%s", n, serial)
 		}
+	})
+
+	t.Run("sim-attrib", func(t *testing.T) {
+		out := run(t, bin("protozoa-sim"), "-workload", "histogram", "-cores", "4", "-scale", "1", "-attrib")
+		for _, want := range []string{"attribution:", "top offenders", "util"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("sim -attrib output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("sim-serve", func(t *testing.T) {
+		cmd := exec.Command(bin("protozoa-sim"),
+			"-workload", "histogram", "-cores", "16", "-scale", "60", "-serve", "127.0.0.1:0")
+		cmd.Stdout = io.Discard
+		addr := startServing(t, cmd, "protozoa-sim")
+		body := scrapeMetrics(t, addr)
+		checkPrometheusFormat(t, body)
+		for _, want := range []string{"protozoa_sim_cycle", "protozoa_attrib_fetched_words", "protozoa_mshr_live"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("/metrics missing %q:\n%s", want, body)
+			}
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("sim -serve exited with error: %v", err)
+		}
+		waitEndpointDown(t, addr)
+	})
+
+	t.Run("sweep-serve", func(t *testing.T) {
+		cmd := exec.Command(bin("protozoa-sweep"),
+			"-workloads", "histogram,swaptions", "-protocols", "all", "-cores", "4",
+			"-serve", "127.0.0.1:0")
+		cmd.Stdout = io.Discard
+		addr := startServing(t, cmd, "protozoa-sweep")
+		body := scrapeMetrics(t, addr)
+		checkPrometheusFormat(t, body)
+		for _, want := range []string{"protozoa_sweep_cells_total 8", "protozoa_attrib_fetched_words"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("/metrics missing %q:\n%s", want, body)
+			}
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("sweep -serve exited with error: %v", err)
+		}
+		waitEndpointDown(t, addr)
 	})
 
 	t.Run("report", func(t *testing.T) {

@@ -19,6 +19,7 @@ import (
 	"protozoa/internal/core"
 	"protozoa/internal/engine"
 	"protozoa/internal/harness"
+	"protozoa/internal/obs"
 	"protozoa/internal/runner"
 	"protozoa/internal/workloads"
 )
@@ -49,6 +50,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	traceCap := flag.Int("trace-cap", 0, "event recorder capacity (0 = default 1Mi events)")
 	metricsOut := flag.String("metrics-out", "", "write the sampled metrics registry as JSON to this file")
+	attribOut := flag.Bool("attrib", false, "print the traffic-attribution report (utilization, sharing patterns, top offenders)")
+	serve := flag.String("serve", "", "serve live Prometheus metrics at this address (e.g. 127.0.0.1:8080) for the run's duration")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -74,9 +77,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
 		os.Exit(1)
 	}
-	if *msglog > 0 || *timeline > 0 || *traceOut != "" || *metricsOut != "" {
+	if *msglog > 0 || *timeline > 0 || *traceOut != "" || *metricsOut != "" || *attribOut || *serve != "" {
 		err := runInstrumented(*workload, p, *cores, *scale, *msglog, *timeline, instrumentOut{
 			traceOut: *traceOut, traceCap: *traceCap, metricsOut: *metricsOut,
+			attrib: *attribOut, serve: *serve,
 		})
 		if perr := stopProfiles(); err == nil {
 			err = perr
@@ -112,6 +116,8 @@ type instrumentOut struct {
 	traceOut   string
 	traceCap   int
 	metricsOut string
+	attrib     bool
+	serve      string
 }
 
 // runInstrumented builds the system directly so protocol transcripts,
@@ -140,6 +146,32 @@ func runInstrumented(workload string, p protozoa.Protocol, cores, scale, msglog,
 	}
 	if out.metricsOut != "" {
 		sys.EnableMetrics()
+	}
+	if out.attrib {
+		sys.EnableAttribution()
+	}
+	if out.serve != "" {
+		// The endpoint exposes the attribution gauges, so arm the
+		// tracker alongside the registry.
+		sys.EnableAttribution()
+		reg := sys.EnableMetrics()
+		live, err := obs.NewLiveServer(out.serve, reg.Descs())
+		if err != nil {
+			return err
+		}
+		// Announce before Run so a watcher can connect while the
+		// simulation is still going.
+		fmt.Fprintf(os.Stderr, "protozoa-sim: serving live metrics at http://%s/metrics\n", live.Addr())
+		sys.SetSampleHook(func(cycle uint64) { live.Publish(cycle, reg.Eval()) })
+		defer func() {
+			if cerr := live.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "protozoa-sim: metrics server:", cerr)
+			}
+		}()
+		defer func() {
+			// Final snapshot so late scrapes see the completed run.
+			live.Publish(sys.Stats().ExecCycles, reg.Eval())
+		}()
 	}
 	if err := sys.Run(); err != nil {
 		return err
@@ -170,6 +202,9 @@ func runInstrumented(workload string, p protozoa.Protocol, cores, scale, msglog,
 		for _, e := range sys.MessageLog() {
 			fmt.Println(" ", e)
 		}
+	}
+	if out.attrib {
+		fmt.Printf("\n%s", harness.RenderAttribution(sys.Attribution(), 10))
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"strings"
 
+	"protozoa/internal/obs"
 	"protozoa/internal/runner"
 )
 
@@ -32,6 +33,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells (CSV order and content are identical at any setting)")
 	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
+	serve := flag.String("serve", "", "serve live sweep-progress metrics at this address (e.g. 127.0.0.1:8080) for the grid's duration")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -71,6 +73,19 @@ func main() {
 	if *progress {
 		pool.Progress = os.Stderr
 	}
+	if *serve != "" {
+		live, err := newSweepLive(*serve, len(cells))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "protozoa-sweep: serving live metrics at http://%s/metrics\n", live.srv.Addr())
+		pool.OnResult = live.observe
+		defer func() {
+			if err := live.srv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "protozoa-sweep: metrics server:", err)
+			}
+		}()
+	}
 	results, sum := pool.Run(cells)
 
 	// Completed rows always reach stdout, even when other cells failed.
@@ -90,6 +105,68 @@ func main() {
 			sum.Failed, sum.Cells)
 		os.Exit(1)
 	}
+}
+
+// sweepLive aggregates completed cells into a live endpoint. observe
+// runs under the pool's result mutex, so the plain counters need no
+// extra locking; every update publishes a fresh snapshot.
+type sweepLive struct {
+	srv   *obs.LiveServer
+	total uint64
+
+	done, failed, events, simCycles            uint64
+	fetched, used, wasted, invals, falseShared uint64
+}
+
+var sweepLiveDescs = []obs.MetricDesc{
+	{Name: "sweep_cells_total", Help: "cells in the grid"},
+	{Name: "sweep_cells_done", Help: "cells completed (ok or failed)"},
+	{Name: "sweep_cells_failed", Help: "cells that returned an error"},
+	{Name: "sweep_events_total", Help: "engine events across completed cells"},
+	{Name: "sweep_sim_cycles_total", Help: "simulated cycles across completed cells"},
+	{Name: "attrib_fetched_words", Help: "words fetched into L1s across completed cells"},
+	{Name: "attrib_used_words", Help: "fetched words used across completed cells"},
+	{Name: "attrib_wasted_bytes", Help: "bytes fetched but never used across completed cells"},
+	{Name: "attrib_invalidations", Help: "invalidation events across completed cells"},
+	{Name: "attrib_false_shared_regions", Help: "regions classified false-shared across completed cells"},
+}
+
+func newSweepLive(addr string, total int) (*sweepLive, error) {
+	srv, err := obs.NewLiveServer(addr, sweepLiveDescs)
+	if err != nil {
+		return nil, err
+	}
+	l := &sweepLive{srv: srv, total: uint64(total)}
+	l.publish()
+	return l, nil
+}
+
+func (l *sweepLive) observe(r runner.Result) {
+	l.done++
+	if r.Err != nil {
+		l.failed++
+	}
+	l.events += r.Events
+	if r.Stats != nil {
+		l.simCycles += r.Stats.ExecCycles
+	}
+	if tr := r.Attrib; tr != nil {
+		l.fetched += tr.FetchedWords
+		l.used += tr.UsedWords
+		l.wasted += tr.WastedBytes()
+		l.invals += tr.Invalidations
+		l.falseShared += tr.FalseSharedRegions()
+	}
+	l.publish()
+}
+
+func (l *sweepLive) publish() {
+	l.srv.Publish(l.simCycles, []float64{
+		float64(l.total), float64(l.done), float64(l.failed),
+		float64(l.events), float64(l.simCycles),
+		float64(l.fetched), float64(l.used), float64(l.wasted),
+		float64(l.invals), float64(l.falseShared),
+	})
 }
 
 func fail(err error) {

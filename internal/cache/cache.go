@@ -376,6 +376,20 @@ func (c *Cache) Blocks(fn func(*Block)) {
 	}
 }
 
+// Usage reports the live utilization view: how many data words are
+// resident and how many of those the core has touched since their
+// fill — the instantaneous counterpart of the end-of-life used/unused
+// classification.
+func (c *Cache) Usage() (resident, touched int) {
+	for i := range c.sets {
+		for _, b := range c.sets[i].blocks {
+			resident += b.R.Words()
+			touched += b.UsedWords()
+		}
+	}
+	return resident, touched
+}
+
 // BytesUsed reports the current storage occupancy, tags included.
 func (c *Cache) BytesUsed() int {
 	t := 0

@@ -279,6 +279,9 @@ func (d *dirSlice) evictLRURegion() {
 		waiting: targets.Count(),
 	}
 	victim.txn = &victim.txnStore
+	if d.sys.attrib != nil {
+		d.sys.attrib.Fanout(victim.region, targets.Count())
+	}
 	full := d.sys.geom.FullRange()
 	targets.ForEach(func(t int) {
 		inv := d.sys.newMsg()
@@ -287,6 +290,9 @@ func (d *dirSlice) evictLRURegion() {
 		inv.Dst = t
 		inv.Region = victim.region
 		inv.R = full
+		// No core is behind an inclusion recall: Requester -1 keeps the
+		// attribution tracker from blaming core 0 for the invalidation.
+		inv.Requester = -1
 		inv.TxnID = victim.txn.id
 		d.sys.send(inv)
 	})
@@ -428,6 +434,9 @@ func (d *dirSlice) process(e *dirEntry, m *Msg) {
 	d.sys.nextTxn++
 	e.txnStore = dirTxn{id: d.sys.nextTxn, req: m, waiting: targets.Count()}
 	e.txn = &e.txnStore
+	if d.sys.attrib != nil {
+		d.sys.attrib.Fanout(m.Region, targets.Count())
+	}
 	// 3-hop: with exactly one target that is an owner and a data-bearing
 	// request, let the owner forward the data straight to the requester.
 	direct := d.sys.cfg.ThreeHop && targets.Count() == 1 &&

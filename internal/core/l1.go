@@ -197,6 +197,9 @@ func applyWrite(b *cache.Block, w uint8, mode accessMode, storeVal uint64) uint6
 func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, done completer) {
 	g := l.sys.geom
 	region, w := g.Region(addr), g.WordOffset(addr)
+	if l.sys.attrib != nil {
+		l.sys.attrib.Access(l.id, region, w, mode.write())
+	}
 	audit := l.auditFrom(region)
 	event := "Load"
 	if mode.write() {
@@ -225,6 +228,9 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 			l.sys.st.L1Misses++
 			l.cs().Misses++
 			l.sys.st.UpgradeMisses++
+			if l.sys.attrib != nil {
+				l.sys.attrib.Upgrade(l.id, region)
+			}
 			l.classifyMiss(region, w, true)
 			l.startMiss(mshr{
 				region: region, mode: mode, upgrade: true, upgradeR: b.R,
@@ -355,6 +361,9 @@ func (l *l1Ctrl) fill(m *Msg) {
 	}
 	l.sys.st.RecordFill(m.R.Words())
 	l.sys.st.DataWordsIn += uint64(m.PayloadWords())
+	if l.sys.attrib != nil {
+		l.sys.attrib.Fill(l.id, m.Region, m.R.Words())
+	}
 	victims := l.cache.Insert(blk)
 	l.handleVictims(victims)
 
@@ -505,6 +514,14 @@ func (l *l1Ctrl) probeInval(m *Msg) {
 	if len(extracted) > 0 {
 		l.sys.st.Invalidations++
 		l.cs().Invalidations++
+		if l.sys.attrib != nil {
+			words := 0
+			for i := range extracted {
+				words += extracted[i].R.Words()
+			}
+			// Recall INVs carry Requester -1: no core is the offender.
+			l.sys.attrib.Invalidation(m.Region, m.Requester, l.id, words)
+		}
 	}
 	// Protozoa-SW+MR: the probed owner is fully revoked — remaining
 	// dirty blocks are written back and downgraded to Shared, so only
@@ -685,6 +702,12 @@ func (l *l1Ctrl) classifyDeath(b *cache.Block) {
 	used := b.UsedWords()
 	l.sys.st.UsedDataBytes += uint64(used) * mem.WordBytes
 	l.sys.st.UnusedDataBytes += uint64(b.R.Words()-used) * mem.WordBytes
+	if l.sys.attrib != nil {
+		// Every fill eventually reaches one of the classifyDeath sites
+		// (eviction, invalidation, or Run's residual flush), so the
+		// tracker's fetched == used + unused reconciles exactly.
+		l.sys.attrib.Death(l.id, b.Region, used, b.R.Words())
+	}
 	l.pred.Train(b.FetchPC, b.Region, b.FetchWord, b.Touched, b.R)
 }
 

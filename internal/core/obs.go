@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"protozoa/internal/obs"
+	"protozoa/internal/obs/attrib"
 )
 
 // This file wires the internal/obs observability layer into the
@@ -36,6 +37,32 @@ func (s *System) EnableLatencyBreakdown() *obs.LatencyBreakdown {
 
 // LatencyBreakdown returns the attached breakdown, nil when disabled.
 func (s *System) LatencyBreakdown() *obs.LatencyBreakdown { return s.lat }
+
+// EnableAttribution attaches the coherence-traffic attribution
+// tracker: per-region reader/writer word footprints, fetched-vs-used
+// word accounting, sharing-pattern classification, and
+// invalidation/upgrade attribution to offending regions and cores.
+// Call before Run.
+func (s *System) EnableAttribution() *attrib.Tracker {
+	if s.attrib == nil {
+		s.attrib = attrib.New(s.cfg.Cores)
+	}
+	return s.attrib
+}
+
+// Attribution returns the attached tracker, nil when disabled.
+func (s *System) Attribution() *attrib.Tracker { return s.attrib }
+
+// SetSampleHook installs a callback invoked after every timeline
+// tick's metrics sample — the live-metrics publish point. Timeline
+// sampling is armed at its default interval if not yet configured.
+// Call before Run; pass nil to remove.
+func (s *System) SetSampleHook(fn func(cycle uint64)) {
+	s.onSample = fn
+	if fn != nil && s.timelineInterval == 0 {
+		s.EnableTimeline(0)
+	}
+}
 
 // EnableMetrics attaches the metrics registry and registers the
 // machine's standard gauges. The registry is sampled on the timeline
@@ -80,6 +107,65 @@ func (s *System) EnableMetrics() *obs.Registry {
 		})
 	r.Register("noc_link_stall_cycles", "cumulative cycles messages queued behind busy links",
 		func() float64 { return float64(s.st.LinkStallCycles) })
+	r.Register("l1_resident_words", "data words resident across all L1s",
+		func() float64 {
+			resident := 0
+			for _, l1 := range s.l1s {
+				r, _ := l1.cache.Usage()
+				resident += r
+			}
+			return float64(resident)
+		})
+	r.Register("l1_resident_used_pct", "percent of resident L1 words touched since fill",
+		func() float64 {
+			resident, touched := 0, 0
+			for _, l1 := range s.l1s {
+				r, t := l1.cache.Usage()
+				resident += r
+				touched += t
+			}
+			if resident == 0 {
+				return 100
+			}
+			return 100 * float64(touched) / float64(resident)
+		})
+	// Attribution gauges read 0 until EnableAttribution runs; the
+	// nil-checks keep metrics-only runs paying nothing for them.
+	r.Register("attrib_fetched_words", "words fetched into L1s (attribution tracker)",
+		func() float64 {
+			if s.attrib == nil {
+				return 0
+			}
+			return float64(s.attrib.FetchedWords)
+		})
+	r.Register("attrib_used_words", "fetched words touched before block death",
+		func() float64 {
+			if s.attrib == nil {
+				return 0
+			}
+			return float64(s.attrib.UsedWords)
+		})
+	r.Register("attrib_wasted_bytes", "bytes fetched over the NoC but never used",
+		func() float64 {
+			if s.attrib == nil {
+				return 0
+			}
+			return float64(s.attrib.WastedBytes())
+		})
+	r.Register("attrib_invalidations", "invalidation events attributed to regions",
+		func() float64 {
+			if s.attrib == nil {
+				return 0
+			}
+			return float64(s.attrib.Invalidations)
+		})
+	r.Register("attrib_false_shared_regions", "regions currently classified false-shared",
+		func() float64 {
+			if s.attrib == nil {
+				return 0
+			}
+			return float64(s.attrib.FalseSharedRegions())
+		})
 	s.metrics = r
 	if s.timelineInterval == 0 {
 		s.EnableTimeline(0)

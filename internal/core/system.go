@@ -8,6 +8,7 @@ import (
 	"protozoa/internal/mem"
 	"protozoa/internal/noc"
 	"protozoa/internal/obs"
+	"protozoa/internal/obs/attrib"
 	"protozoa/internal/predictor"
 	"protozoa/internal/stats"
 	"protozoa/internal/trace"
@@ -132,6 +133,11 @@ type System struct {
 	rec     *obs.Recorder
 	lat     *obs.LatencyBreakdown
 	metrics *obs.Registry
+	attrib  *attrib.Tracker
+
+	// onSample, when non-nil, runs after every timeline tick's metrics
+	// sample — the live-endpoint publish hook (SetSampleHook).
+	onSample func(cycle uint64)
 
 	// Pool and occupancy gauges feeding the metrics registry.
 	poolHits   uint64 // newMsg served from the free list

@@ -44,6 +44,9 @@ func (s *System) sampleTimeline() {
 	if s.metrics != nil {
 		s.metrics.Sample(uint64(s.eng.Now()))
 	}
+	if s.onSample != nil {
+		s.onSample(uint64(s.eng.Now()))
+	}
 	if s.coresDone < s.cfg.Cores {
 		s.eng.ScheduleRunner(s.timelineInterval, &s.timelineEv)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"protozoa/internal/core"
 	"protozoa/internal/obs"
+	"protozoa/internal/obs/attrib"
 	"protozoa/internal/runner"
 	"protozoa/internal/stats"
 	"protozoa/internal/workloads"
@@ -93,6 +94,10 @@ type Matrix struct {
 	// Breakdowns holds each cell's miss-latency phase decomposition,
 	// captured by Collect via the observability layer.
 	Breakdowns map[string]map[core.Protocol]*obs.LatencyBreakdown
+
+	// Attribs holds each cell's coherence-traffic attribution —
+	// word utilization, sharing patterns, and offender rankings.
+	Attribs map[string]map[core.Protocol]*attrib.Tracker
 }
 
 // Collect runs the full workload x protocol matrix, fanning the cells
@@ -104,6 +109,7 @@ func Collect(o Options) (*Matrix, error) {
 		Protocols:  core.AllProtocols,
 		Cells:      make(map[string]map[core.Protocol]*stats.Stats),
 		Breakdowns: make(map[string]map[core.Protocol]*obs.LatencyBreakdown),
+		Attribs:    make(map[string]map[core.Protocol]*attrib.Tracker),
 	}
 	var cells []runner.Cell
 	for _, w := range m.Workloads {
@@ -119,9 +125,13 @@ func Collect(o Options) (*Matrix, error) {
 	// Each worker writes only its own cell's slot; the pool's WaitGroup
 	// publishes the writes before we read them below.
 	lats := make([]*obs.LatencyBreakdown, len(cells))
+	attribs := make([]*attrib.Tracker, len(cells))
 	for i := range cells {
 		i := i
-		cells[i].Observe = func(sys *core.System) { lats[i] = sys.EnableLatencyBreakdown() }
+		cells[i].Observe = func(sys *core.System) {
+			lats[i] = sys.EnableLatencyBreakdown()
+			attribs[i] = sys.EnableAttribution()
+		}
 	}
 	results, _ := o.pool().Run(cells)
 	var errs []error
@@ -129,10 +139,12 @@ func Collect(o Options) (*Matrix, error) {
 	for _, w := range m.Workloads {
 		m.Cells[w] = make(map[core.Protocol]*stats.Stats)
 		m.Breakdowns[w] = make(map[core.Protocol]*obs.LatencyBreakdown)
+		m.Attribs[w] = make(map[core.Protocol]*attrib.Tracker)
 		for _, p := range m.Protocols {
 			r := results[i]
 			if r.Err == nil {
 				m.Breakdowns[w][p] = lats[i]
+				m.Attribs[w][p] = attribs[i]
 			}
 			i++
 			if r.Err != nil {

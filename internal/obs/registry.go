@@ -53,6 +53,25 @@ func (r *Registry) Names() []string {
 	return out
 }
 
+// Descs lists the registered metric descriptors in column order.
+func (r *Registry) Descs() []MetricDesc {
+	out := make([]MetricDesc, len(r.metrics))
+	for i, m := range r.metrics {
+		out[i] = MetricDesc{Name: m.name, Help: m.help}
+	}
+	return out
+}
+
+// Eval evaluates every metric without recording a sample row — the
+// live-endpoint path, where the consumer keeps its own history.
+func (r *Registry) Eval() []float64 {
+	out := make([]float64, len(r.metrics))
+	for i, m := range r.metrics {
+		out[i] = m.fn()
+	}
+	return out
+}
+
 // Sample evaluates every metric at the given cycle and appends a row.
 func (r *Registry) Sample(cycle uint64) {
 	row := MetricSample{Cycle: cycle, Values: make([]float64, len(r.metrics))}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestLiveServerServesPublishedSnapshot(t *testing.T) {
+	descs := []MetricDesc{
+		{Name: "mshr_live", Help: "misses outstanding"},
+		{Name: "util_pct", Help: "fill utilization"},
+	}
+	s, err := NewLiveServer("127.0.0.1:0", descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	if got := getBody(t, base+"/healthz"); got != "ok\n" {
+		t.Errorf("healthz body %q", got)
+	}
+
+	// Before any Publish, only the snapshot counters report.
+	body := getBody(t, base+"/metrics")
+	if !strings.Contains(body, "protozoa_snapshots_total 0\n") {
+		t.Errorf("pre-publish body missing zero snapshot counter:\n%s", body)
+	}
+
+	s.Publish(12000, []float64{3, 41.5})
+	body = getBody(t, base+"/metrics")
+	for _, want := range []string{
+		"# TYPE protozoa_sim_cycle gauge",
+		"protozoa_sim_cycle 12000",
+		"protozoa_snapshots_total 1",
+		"# HELP protozoa_mshr_live misses outstanding",
+		"protozoa_mshr_live 3",
+		"protozoa_util_pct 41.5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+
+	// Every non-comment line must be well-formed Prometheus text.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(parts[1], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		for i := 0; i < len(parts[0]); i++ {
+			if !isMetricChar(parts[0][i], i == 0) {
+				t.Fatalf("bad metric name %q", parts[0])
+			}
+		}
+	}
+}
+
+func TestLiveServerCloseIsGracefulAndFinal(t *testing.T) {
+	s, err := NewLiveServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	getBody(t, "http://"+addr+"/healthz")
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still accepting connections after Close")
+	}
+}
+
+func TestLiveServerPublishCopiesValues(t *testing.T) {
+	s, err := NewLiveServer("127.0.0.1:0", []MetricDesc{{Name: "g"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	buf := []float64{7}
+	s.Publish(1, buf)
+	buf[0] = 99 // caller reuses its buffer; snapshot must be unaffected
+	body := getBody(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(body, "protozoa_g 7\n") {
+		t.Errorf("published value not snapshotted:\n%s", body)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"event_queue_depth": "event_queue_depth",
+		"weird name-1":      "weird_name_1",
+		"1starts_numeric":   "_starts_numeric",
+		"":                  "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -78,6 +78,9 @@ func (g Grid) Cells() ([]Cell, error) {
 							set(&cfg)
 							return core.NewSystem(cfg, spec.StreamsSeeded(g.Cores, g.Scale, g.TraceSeed))
 						},
+						// Attribution backs the util_pct / wasted_bytes /
+						// false_shared_regions CSV columns.
+						Observe: func(sys *core.System) { sys.EnableAttribution() },
 					})
 				}
 			}
@@ -91,11 +94,20 @@ var CSVHeader = []string{
 	"workload", "protocol", "knob", "region_bytes",
 	"misses", "mpki", "traffic_bytes", "used_pct", "flit_hops", "exec_cycles",
 	"miss_lat_p50", "miss_lat_p95", "miss_lat_p99",
+	"util_pct", "wasted_bytes", "false_shared_regions",
 }
 
-// CSVRow renders one completed cell as a sweep CSV record.
+// CSVRow renders one completed cell as a sweep CSV record. The
+// attribution columns render empty when the cell ran without a
+// tracker, so ad-hoc grids stay loadable by the same schema.
 func CSVRow(r Result) []string {
 	st := r.Stats
+	utilPct, wastedBytes, falseShared := "", "", ""
+	if tr := r.Attrib; tr != nil {
+		utilPct = strconv.FormatFloat(tr.UtilPct(), 'f', 1, 64)
+		wastedBytes = strconv.FormatUint(tr.WastedBytes(), 10)
+		falseShared = strconv.FormatUint(tr.FalseSharedRegions(), 10)
+	}
 	return []string{
 		r.Cell.Workload, r.Cell.Protocol.String(), r.Cell.Knob, strconv.Itoa(r.Cell.Region),
 		strconv.FormatUint(st.L1Misses, 10),
@@ -107,6 +119,7 @@ func CSVRow(r Result) []string {
 		strconv.FormatUint(st.MissLatencyP(50), 10),
 		strconv.FormatUint(st.MissLatencyP(95), 10),
 		strconv.FormatUint(st.MissLatencyP(99), 10),
+		utilPct, wastedBytes, falseShared,
 	}
 }
 

@@ -105,3 +105,76 @@ func TestSweepCSVLatencyColumns(t *testing.T) {
 			p50, p95, p99, st.MissLatencyP(50), st.MissLatencyP(95), st.MissLatencyP(99))
 	}
 }
+
+// TestSweepCSVAttributionColumns checks the attribution columns render
+// sane values consistent with the cell's tracker, and that a result
+// without a tracker leaves them empty rather than zero (so rows from
+// attribution-free runs are distinguishable from perfectly-utilized
+// ones).
+func TestSweepCSVAttributionColumns(t *testing.T) {
+	g := Grid{
+		Workloads: []string{"histogram"},
+		Protocols: []core.Protocol{core.MESI},
+		Regions:   []int{64},
+		Cores:     4,
+		Scale:     1,
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, sum := Pool{Jobs: 1}.Run(cells)
+	if sum.Failed != 0 {
+		t.Fatalf("%d cells failed", sum.Failed)
+	}
+	if results[0].Attrib == nil {
+		t.Fatal("grid cell ran without an attribution tracker")
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	for _, name := range []string{"util_pct", "wasted_bytes", "false_shared_regions"} {
+		if _, ok := col[name]; !ok {
+			t.Fatalf("header missing %s: %v", name, rows[0])
+		}
+	}
+	row := rows[1]
+	tr := results[0].Attrib
+	util, err := strconv.ParseFloat(row[col["util_pct"]], 64)
+	if err != nil {
+		t.Fatalf("util_pct %q: %v", row[col["util_pct"]], err)
+	}
+	if util <= 0 || util > 100 {
+		t.Errorf("util_pct %v out of range", util)
+	}
+	wasted, _ := strconv.ParseUint(row[col["wasted_bytes"]], 10, 64)
+	if wasted != tr.WastedBytes() {
+		t.Errorf("wasted_bytes %d disagrees with tracker %d", wasted, tr.WastedBytes())
+	}
+	fs, _ := strconv.ParseUint(row[col["false_shared_regions"]], 10, 64)
+	if fs != tr.FalseSharedRegions() {
+		t.Errorf("false_shared_regions %d disagrees with tracker %d", fs, tr.FalseSharedRegions())
+	}
+
+	// A row whose cell ran without attribution renders the columns empty.
+	bare := results[0]
+	bare.Attrib = nil
+	got := CSVRow(bare)
+	for _, idx := range []int{col["util_pct"], col["wasted_bytes"], col["false_shared_regions"]} {
+		if got[idx] != "" {
+			t.Errorf("column %d = %q without a tracker, want empty", idx, got[idx])
+		}
+	}
+	if len(got) != len(CSVHeader) {
+		t.Errorf("row has %d fields, header %d", len(got), len(CSVHeader))
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"protozoa/internal/core"
+	"protozoa/internal/obs/attrib"
 	"protozoa/internal/stats"
 )
 
@@ -50,10 +51,11 @@ type Cell struct {
 type Result struct {
 	Index  int
 	Cell   Cell
-	Stats  *stats.Stats  // nil when Err != nil
-	Err    error         // build or simulation failure, wrapped with the label
-	Events uint64        // events the cell's engine processed
-	Wall   time.Duration // wall-clock time the cell took
+	Stats  *stats.Stats    // nil when Err != nil
+	Attrib *attrib.Tracker // non-nil only when the cell enabled attribution
+	Err    error           // build or simulation failure, wrapped with the label
+	Events uint64          // events the cell's engine processed
+	Wall   time.Duration   // wall-clock time the cell took
 }
 
 // Summary aggregates one pool run.
@@ -75,6 +77,11 @@ func (s Summary) String() string {
 type Pool struct {
 	Jobs     int       // concurrent workers; <=0 means GOMAXPROCS
 	Progress io.Writer // per-cell completion lines plus a summary; nil = silent
+
+	// OnResult, when non-nil, observes each result as its cell
+	// finishes (completion order, serialized under the pool's mutex).
+	// Drivers use it to feed live aggregates; it must not block.
+	OnResult func(Result)
 }
 
 // Run executes every cell and returns the results in cell order, with
@@ -104,15 +111,20 @@ func (p Pool) Run(cells []Cell) ([]Result, Summary) {
 			for i := range idx {
 				r := runCell(i, cells[i])
 				results[i] = r
-				if p.Progress != nil {
+				if p.Progress != nil || p.OnResult != nil {
 					mu.Lock()
 					done++
-					status := "ok"
-					if r.Err != nil {
-						status = "FAIL: " + r.Err.Error()
+					if p.Progress != nil {
+						status := "ok"
+						if r.Err != nil {
+							status = "FAIL: " + r.Err.Error()
+						}
+						fmt.Fprintf(p.Progress, "[%d/%d] %s: %s (%d events, %s)\n",
+							done, len(cells), r.Cell.Label, status, r.Events, r.Wall.Round(time.Millisecond))
 					}
-					fmt.Fprintf(p.Progress, "[%d/%d] %s: %s (%d events, %s)\n",
-						done, len(cells), r.Cell.Label, status, r.Events, r.Wall.Round(time.Millisecond))
+					if p.OnResult != nil {
+						p.OnResult(r)
+					}
 					mu.Unlock()
 				}
 			}
@@ -155,6 +167,7 @@ func runCell(i int, c Cell) Result {
 		r.Err = fmt.Errorf("%s: %w", c.Label, err)
 	} else {
 		r.Stats = sys.Stats()
+		r.Attrib = sys.Attribution()
 	}
 	r.Events = sys.Engine().Processed()
 	r.Wall = time.Since(start)

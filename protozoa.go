@@ -25,6 +25,7 @@ import (
 	"protozoa/internal/core"
 	"protozoa/internal/harness"
 	"protozoa/internal/mem"
+	"protozoa/internal/obs/attrib"
 	"protozoa/internal/profile"
 	"protozoa/internal/stats"
 	"protozoa/internal/trace"
@@ -153,6 +154,37 @@ func NewSliceStream(recs []Access) Stream { return trace.NewSliceStream(recs) }
 
 // Addr is a byte address in the simulated physical address space.
 type Addr = mem.Addr
+
+// RegionID identifies a coherence region (a 64-byte-aligned block at
+// the default geometry).
+type RegionID = mem.RegionID
+
+// RegionOf maps an address to its region at the default geometry.
+func RegionOf(a Addr) RegionID { return mem.DefaultGeometry.Region(a) }
+
+// Attribution is the coherence-traffic attribution tracker: per-region
+// word utilization, sharing-pattern classification, and invalidation
+// attribution. Attach with System.EnableAttribution before Run.
+type Attribution = attrib.Tracker
+
+// SharingPattern classifies a region's observed sharing behaviour.
+type SharingPattern = attrib.Pattern
+
+// Sharing patterns, from word-level reader/writer footprints.
+const (
+	PatternPrivate     = attrib.Private
+	PatternReadOnly    = attrib.ReadOnly
+	PatternPartitioned = attrib.Partitioned
+	PatternFalseShared = attrib.FalseShared
+	PatternMigratory   = attrib.Migratory
+	PatternReadWrite   = attrib.ReadWrite
+)
+
+// RenderAttribution formats one run's attribution report: the
+// utilization summary plus the top-N offender regions.
+func RenderAttribution(tr *Attribution, topN int) string {
+	return harness.RenderAttribution(tr, topN)
+}
 
 // SharingProfile is the Section 2 trace-level analysis: per-region
 // sharing classification and spatial footprint.
