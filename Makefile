@@ -1,18 +1,36 @@
 # Tier-1 verify: build, vet, full tests, a race pass over the
-# concurrency layer (worker-pool runner, event engine) and the
-# simulator hot path (core protocol + cache storage), a 1-iteration
-# benchmark smoke so throughput regressions that crash or deadlock are
-# caught before they reach a real benchmarking session, and the
-# observability smoke (trace + metrics JSON must parse, live metrics
-# endpoint must serve Prometheus text during a run).
+# concurrency layer (worker-pool runner, event engine, live-metrics
+# server) and the simulator hot path (core protocol + cache storage),
+# a 1-iteration benchmark smoke so throughput regressions that crash or
+# deadlock are caught before they reach a real benchmarking session,
+# the observability smoke (trace + metrics JSON must parse, live
+# metrics endpoint must serve Prometheus text during a run), and the
+# PDES determinism smoke (parallel window-loop results byte-identical
+# across worker counts).
 verify:
 	go build ./...
 	go vet ./...
 	go test ./...
 	go test -race ./internal/runner ./internal/engine
 	go test -race ./internal/core ./internal/cache
+	go test -race ./internal/obs
 	go test -run '^$$' -bench SimulatorThroughput -benchtime 1x .
 	$(MAKE) obs-smoke
+	$(MAKE) pdes-smoke
+
+# pdes-smoke: one workload under the parallel window loop at 1 and 4
+# workers; the full JSON stats dump must be byte-identical (the
+# determinism contract -workers rests on, end to end through the CLI).
+pdes-smoke:
+	@mkdir -p /tmp/protozoa-smoke
+	go build -o /tmp/protozoa-smoke/protozoa-sim ./cmd/protozoa-sim
+	@/tmp/protozoa-smoke/protozoa-sim -workload barnes -protocol mw -scale 1 \
+		-workers 1 -json > /tmp/protozoa-smoke/w1.json
+	@/tmp/protozoa-smoke/protozoa-sim -workload barnes -protocol mw -scale 1 \
+		-workers 4 -json > /tmp/protozoa-smoke/w4.json
+	@cmp /tmp/protozoa-smoke/w1.json /tmp/protozoa-smoke/w4.json \
+		|| { echo "pdes-smoke: -workers 1 and -workers 4 diverge"; exit 1; }
+	@echo "pdes-smoke: -workers 1 and -workers 4 stats byte-identical"
 
 # trace-smoke: a 1-iteration simulation with event tracing and the
 # metrics registry enabled, validating both JSON artifacts parse
@@ -55,4 +73,4 @@ obs-smoke: trace-smoke
 bench:
 	go test -run '^$$' -bench SimulatorThroughput -benchmem -benchtime 2s -count 5 .
 
-.PHONY: verify bench trace-smoke obs-smoke
+.PHONY: verify bench trace-smoke obs-smoke pdes-smoke

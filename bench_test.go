@@ -351,6 +351,31 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorThroughputParallel measures the parallel window
+// loop's scaling on a single run: the same workload under the
+// sequential engine and under PDES at 1, 2, 4, and 8 workers. The
+// workers1 case prices the partitioned machine's window overhead; the
+// higher counts show the speedup real parallelism buys back.
+func BenchmarkSimulatorThroughputParallel(b *testing.B) {
+	for _, w := range []int{0, 1, 2, 4, 8} {
+		name := fmt.Sprintf("workers%d", w)
+		if w == 0 {
+			name = "sequential"
+		}
+		w := w
+		b.Run(name, func(b *testing.B) {
+			var accesses uint64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(core.ProtozoaMW)
+				cfg.Workers = w
+				st := runWorkloadWith(b, cfg, "barnes")
+				accesses = st.Accesses
+			}
+			b.ReportMetric(float64(accesses)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+		})
+	}
+}
+
 // oneWordPredictor always fetches exactly the missing word.
 type oneWordPredictor struct{}
 

@@ -43,6 +43,7 @@ func main() {
 	proto := flag.String("protocol", "mw", "coherence protocol: mesi, sw, swmr, mw")
 	cores := flag.Int("cores", 16, "number of cores (1, 2, 4, or 16)")
 	scale := flag.Int("scale", 2, "workload iteration multiplier")
+	workers := flag.Int("workers", 0, "parallel window-loop goroutines (0 = sequential engine; results are byte-identical for any value >= 1)")
 	list := flag.Bool("list", false, "list the workload suite and exit")
 	msglog := flag.Int("msglog", 0, "dump the last N coherence messages after the run")
 	jsonOut := flag.Bool("json", false, "emit the raw stats as JSON instead of the report")
@@ -78,7 +79,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *msglog > 0 || *timeline > 0 || *traceOut != "" || *metricsOut != "" || *attribOut || *serve != "" {
-		err := runInstrumented(*workload, p, *cores, *scale, *msglog, *timeline, instrumentOut{
+		err := runInstrumented(*workload, p, *cores, *scale, *workers, *msglog, *timeline, instrumentOut{
 			traceOut: *traceOut, traceCap: *traceCap, metricsOut: *metricsOut,
 			attrib: *attribOut, serve: *serve,
 		})
@@ -91,7 +92,7 @@ func main() {
 		}
 		return
 	}
-	st, err := protozoa.Run(*workload, p, protozoa.Options{Cores: *cores, Scale: *scale})
+	st, err := protozoa.Run(*workload, p, protozoa.Options{Cores: *cores, Scale: *scale, Workers: *workers})
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -122,12 +123,13 @@ type instrumentOut struct {
 
 // runInstrumented builds the system directly so protocol transcripts,
 // timelines, event traces, and metrics can be captured and dumped.
-func runInstrumented(workload string, p protozoa.Protocol, cores, scale, msglog, timeline int, out instrumentOut) error {
+func runInstrumented(workload string, p protozoa.Protocol, cores, scale, workers, msglog, timeline int, out instrumentOut) error {
 	spec, err := workloads.Get(workload)
 	if err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig(core.Protocol(p))
+	cfg.Workers = workers
 	if err := runner.ConfigureCores(&cfg, cores); err != nil {
 		return err
 	}

@@ -32,6 +32,7 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale")
 	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells (CSV order and content are identical at any setting)")
+	workers := flag.Int("workers", 0, "parallel window-loop goroutines per cell (0 = sequential engine; rows are byte-identical for any value >= 1)")
 	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
 	serve := flag.String("serve", "", "serve live sweep-progress metrics at this address (e.g. 127.0.0.1:8080) for the grid's duration")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -64,6 +65,7 @@ func main() {
 		Cores:     *cores,
 		Scale:     *scale,
 		TraceSeed: *seed,
+		Workers:   *workers,
 	}.Cells()
 	if err != nil {
 		fail(err)

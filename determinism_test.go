@@ -14,9 +14,17 @@ import (
 // runs can be compared byte for byte.
 func marshalRun(t *testing.T, workload string, p protozoa.Protocol) []byte {
 	t.Helper()
-	st, err := protozoa.Run(workload, p, protozoa.Options{Cores: 16, Scale: 1})
+	return marshalRunWorkers(t, workload, p, 0)
+}
+
+// marshalRunWorkers is marshalRun with an explicit execution mode:
+// workers 0 is the sequential engine, workers >= 1 the parallel window
+// loop with that many goroutines.
+func marshalRunWorkers(t *testing.T, workload string, p protozoa.Protocol, workers int) []byte {
+	t.Helper()
+	st, err := protozoa.Run(workload, p, protozoa.Options{Cores: 16, Scale: 1, Workers: workers})
 	if err != nil {
-		t.Fatalf("%v on %s: %v", p, workload, err)
+		t.Fatalf("%v on %s (workers %d): %v", p, workload, workers, err)
 	}
 	b, err := json.Marshal(st)
 	if err != nil {
@@ -39,6 +47,31 @@ func TestRunDeterminism(t *testing.T) {
 				t.Fatalf("two identical runs produced different stats:\n%s\n---\n%s", a, b)
 			}
 		})
+	}
+}
+
+// TestWorkerCountsAgree runs the parallel window loop at 1, 2, 4 and 8
+// workers for every protocol across three workloads and requires
+// bit-identical statistics: partitioned execution must be a pure
+// function of the configuration, never of the goroutine schedule. (The
+// sequential mode is a different — equally deterministic — schedule of
+// same-cycle cross-tile events, so it is not compared here; its own
+// guarantee is TestRunDeterminism.)
+func TestWorkerCountsAgree(t *testing.T) {
+	workloads := []string{"barnes", "ocean", "lu"}
+	for _, w := range workloads {
+		for _, p := range protozoa.Protocols() {
+			w, p := w, p
+			t.Run(w+"/"+p.String(), func(t *testing.T) {
+				base := marshalRunWorkers(t, w, p, 1)
+				for _, n := range []int{2, 4, 8} {
+					got := marshalRunWorkers(t, w, p, n)
+					if !bytes.Equal(base, got) {
+						t.Fatalf("workers=1 and workers=%d diverge:\n%s\n---\n%s", n, base, got)
+					}
+				}
+			})
+		}
 	}
 }
 

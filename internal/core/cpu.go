@@ -17,6 +17,7 @@ import (
 type cpu struct {
 	id       int
 	sys      *System
+	tl       *tile
 	stream   trace.Stream
 	storeSeq uint64
 	done     bool
@@ -84,9 +85,17 @@ func (c *cpu) complete(val uint64) {
 
 // step advances a core to its next trace record.
 func (s *System) step(c *cpu) {
+	t := c.tl
 	a, ok := c.stream.Next()
 	if !ok {
 		c.done = true
+		if s.pdes {
+			// The window coordinator counts finished tiles and releases
+			// barriers at window edges; retirement is per tile.
+			t.coreDone = true
+			t.retire = t.eng.Now()
+			return
+		}
 		s.coresDone++
 		if s.coresDone == s.cfg.Cores {
 			// Execution time is the last core's retirement; the queue
@@ -99,23 +108,24 @@ func (s *System) step(c *cpu) {
 	c.pend = a
 	switch a.Kind {
 	case trace.Barrier:
-		s.st.Instructions += uint64(a.Think)
+		t.st.Instructions += uint64(a.Think)
 	case trace.Load, trace.Store, trace.RMW:
-		s.st.Instructions += uint64(a.Think) + 1
+		t.st.Instructions += uint64(a.Think) + 1
 	default:
 		panic("core: unknown trace record kind")
 	}
-	s.eng.ScheduleRunner(engine.Cycle(a.Think), &c.thinkEv)
+	t.eng.ScheduleRunner(engine.Cycle(a.Think), &c.thinkEv)
 }
 
 func (s *System) issueAccess(c *cpu) {
 	a := c.pend
-	s.st.Accesses++
-	cs := &s.st.PerCore[c.id]
+	t := c.tl
+	t.st.Accesses++
+	cs := &t.st.PerCore[c.id]
 	cs.Accesses++
 	switch a.Kind {
 	case trace.Store:
-		s.st.Stores++
+		t.st.Stores++
 		cs.Stores++
 		c.pendVal = c.storeToken()
 		s.l1s[c.id].access(a.Addr, accWrite, a.PC, c.pendVal, c)
@@ -123,12 +133,12 @@ func (s *System) issueAccess(c *cpu) {
 		// Atomic fetch-and-increment: counted as a store (it acquires
 		// write permission) and observed as both a load of the old
 		// value and a store of old+1.
-		s.st.Stores++
-		s.st.RMWs++
+		t.st.Stores++
+		t.st.RMWs++
 		cs.Stores++
 		s.l1s[c.id].access(a.Addr, accRMW, a.PC, 0, c)
 	default:
-		s.st.Loads++
+		t.st.Loads++
 		cs.Loads++
 		s.l1s[c.id].access(a.Addr, accRead, a.PC, 0, c)
 	}
@@ -137,8 +147,13 @@ func (s *System) issueAccess(c *cpu) {
 // arriveBarrier parks the core until every live core reaches the
 // barrier. Cores whose streams already finished count as arrived, so a
 // workload may give cores unequal record counts after their last
-// common barrier.
+// common barrier. Under PDES arrival is per-tile state; the window
+// coordinator performs the global count and release at window edges.
 func (s *System) arriveBarrier(c *cpu) {
+	if s.pdes {
+		c.tl.barrierArrived = true
+		return
+	}
 	s.barrierArrived++
 	s.barrierWait = append(s.barrierWait, c)
 	s.releaseBarrierIfReady()

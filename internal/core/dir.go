@@ -19,6 +19,7 @@ import (
 // processed even while the region is busy.
 type dirSlice struct {
 	sys  *System
+	tl   *tile // the home tile's partition: engine, stats shard, pool
 	node int
 
 	// Entry table. Homes interleave regions low-order across tiles
@@ -34,6 +35,11 @@ type dirSlice struct {
 	// probes, replies, unblock all hit the same entry back to back).
 	lastRegion mem.RegionID
 	lastEntry  *dirEntry
+
+	// txnSeq feeds newTxnID: transaction IDs are issued per slice so no
+	// cross-partition counter is shared, yet stay globally unique (and
+	// independent of worker count) by striding the sequence across tiles.
+	txnSeq uint64
 
 	touchSeq uint64
 	bloom    *bloomDir // non-nil when Config.Directory == DirBloom
@@ -81,9 +87,17 @@ type dirTxn struct {
 	forwarded bool // a 3-hop owner already supplied the requester
 }
 
-func newDirSlice(sys *System, node int) *dirSlice {
+// newTxnID issues the slice's next transaction ID: nonzero (0 marks
+// spontaneous writebacks) and distinct across all slices because each
+// slice's sequence occupies its own residue class modulo the tile count.
+func (d *dirSlice) newTxnID() uint64 {
+	d.txnSeq++
+	return d.txnSeq*uint64(d.sys.cfg.Cores) + uint64(d.node) + 1
+}
+
+func newDirSlice(sys *System, tl *tile, node int) *dirSlice {
 	d := &dirSlice{
-		sys: sys, node: node,
+		sys: sys, tl: tl, node: node,
 		memory: make(map[mem.RegionID][]uint64),
 	}
 	if sys.cfg.Directory == DirBloom {
@@ -255,36 +269,35 @@ func (d *dirSlice) evictLRURegion() {
 	if victim == nil {
 		return
 	}
-	d.sys.st.Recalls++
+	d.tl.st.Recalls++
 	targets := victim.sharers.Union(victim.owners)
 	if targets.Empty() {
 		d.dropEntry(victim)
 		return
 	}
 	d.setBusy(victim)
-	if d.sys.rec != nil {
-		d.sys.rec.Record(obs.Event{
-			Cycle: d.sys.eng.Now(), Kind: obs.KindTxnStart, Sub: uint8(MsgRecall),
+	if d.tl.rec != nil {
+		d.tl.rec.Record(obs.Event{
+			Cycle: d.tl.eng.Now(), Kind: obs.KindTxnStart, Sub: uint8(MsgRecall),
 			Node: int16(d.node), Peer: -1, Region: uint64(victim.region),
 		})
 	}
-	d.sys.nextTxn++
-	req := d.sys.newMsg()
+	req := d.tl.newMsg()
 	req.Type = MsgRecall
 	req.Dst = d.node
 	req.Region = victim.region
 	victim.txnStore = dirTxn{
-		id:      d.sys.nextTxn,
+		id:      d.newTxnID(),
 		req:     req,
 		waiting: targets.Count(),
 	}
 	victim.txn = &victim.txnStore
-	if d.sys.attrib != nil {
-		d.sys.attrib.Fanout(victim.region, targets.Count())
+	if d.tl.attrib != nil {
+		d.tl.attrib.Fanout(victim.region, targets.Count())
 	}
 	full := d.sys.geom.FullRange()
 	targets.ForEach(func(t int) {
-		inv := d.sys.newMsg()
+		inv := d.tl.newMsg()
 		inv.Type = MsgInv
 		inv.Src = d.node
 		inv.Dst = t
@@ -294,14 +307,14 @@ func (d *dirSlice) evictLRURegion() {
 		// attribution tracker from blaming core 0 for the invalidation.
 		inv.Requester = -1
 		inv.TxnID = victim.txn.id
-		d.sys.send(inv)
+		d.tl.send(inv)
 	})
 }
 
 // dropEntry writes a dirty region back to memory and frees the slot.
 func (d *dirSlice) dropEntry(e *dirEntry) {
 	if e.l2dirty {
-		d.sys.st.MemWritebacks++
+		d.tl.st.MemWritebacks++
 		d.persistWords(e, e.valid)
 	}
 	if idx := d.slot(e.region); idx < uint64(len(d.dense)) && d.dense[idx] == e {
@@ -359,8 +372,8 @@ func (d *dirSlice) fetchMissing(e *dirEntry, need mem.Bitmap) bool {
 // recvRequest accepts GETS/GETX/UPGRADE. One transaction per region:
 // a busy region queues the request.
 func (d *dirSlice) recvRequest(m *Msg) {
-	if d.sys.lat != nil {
-		d.sys.lat.DirAccept(m.Src, uint64(d.sys.eng.Now()))
+	if lt := d.sys.latFor(m.Src); lt != nil {
+		lt.DirAccept(m.Src, uint64(d.tl.eng.Now()))
 	}
 	e := d.entry(m.Region)
 	if e.busy {
@@ -374,32 +387,32 @@ func (d *dirSlice) recvRequest(m *Msg) {
 // one-time memory fetch for the region's first touch) and then process.
 func (d *dirSlice) activate(e *dirEntry, m *Msg) {
 	d.setBusy(e)
-	if d.sys.lat != nil {
-		d.sys.lat.Activate(m.Src, uint64(d.sys.eng.Now()))
+	if lt := d.sys.latFor(m.Src); lt != nil {
+		lt.Activate(m.Src, uint64(d.tl.eng.Now()))
 	}
-	if d.sys.rec != nil {
-		d.sys.rec.Record(obs.Event{
-			Cycle: d.sys.eng.Now(), Kind: obs.KindTxnStart, Sub: uint8(m.Type),
+	if d.tl.rec != nil {
+		d.tl.rec.Record(obs.Event{
+			Cycle: d.tl.eng.Now(), Kind: obs.KindTxnStart, Sub: uint8(m.Type),
 			Node: int16(d.node), Peer: -1, Region: uint64(m.Region),
 		})
 	}
 	lat := d.sys.cfg.L2Lat
 	if !e.memTouched {
 		e.memTouched = true
-		d.sys.st.MemReads++
+		d.tl.st.MemReads++
 		lat += d.sys.cfg.MemLat
 	}
 	m.sys = d.sys
 	m.phase = phaseProcess
-	d.sys.eng.ScheduleRunner(lat, m)
+	d.tl.eng.ScheduleRunner(lat, m)
 }
 
 // process runs the directory state machine for one request.
 func (d *dirSlice) process(e *dirEntry, m *Msg) {
-	if d.sys.lat != nil {
-		d.sys.lat.Process(m.Src, uint64(d.sys.eng.Now()))
+	if lt := d.sys.latFor(m.Src); lt != nil {
+		lt.Process(m.Src, uint64(d.tl.eng.Now()))
 	}
-	if d.sys.transitions != nil {
+	if d.tl.transitions != nil {
 		e.auditFrom = d.dirState(e)
 	}
 	// Figure 11 accounting: record the sharer mix every time a request
@@ -407,11 +420,11 @@ func (d *dirSlice) process(e *dirEntry, m *Msg) {
 	if !e.owners.Empty() {
 		switch {
 		case e.owners.Count() > 1:
-			d.sys.st.DirMultiOwner++
+			d.tl.st.DirMultiOwner++
 		case d.sharersOf(e).Without(e.owners).Empty():
-			d.sys.st.DirOwnerOneOnly++
+			d.tl.st.DirOwnerOneOnly++
 		default:
-			d.sys.st.DirOwnerPlusSharers++
+			d.tl.st.DirOwnerPlusSharers++
 		}
 	}
 
@@ -431,18 +444,17 @@ func (d *dirSlice) process(e *dirEntry, m *Msg) {
 		d.finish(e, m, false)
 		return
 	}
-	d.sys.nextTxn++
-	e.txnStore = dirTxn{id: d.sys.nextTxn, req: m, waiting: targets.Count()}
+	e.txnStore = dirTxn{id: d.newTxnID(), req: m, waiting: targets.Count()}
 	e.txn = &e.txnStore
-	if d.sys.attrib != nil {
-		d.sys.attrib.Fanout(m.Region, targets.Count())
+	if d.tl.attrib != nil {
+		d.tl.attrib.Fanout(m.Region, targets.Count())
 	}
 	// 3-hop: with exactly one target that is an owner and a data-bearing
 	// request, let the owner forward the data straight to the requester.
 	direct := d.sys.cfg.ThreeHop && targets.Count() == 1 &&
 		(m.Type == MsgGetS || m.Type == MsgGetX)
 	targets.ForEach(func(t int) {
-		probe := d.sys.newMsg()
+		probe := d.tl.newMsg()
 		probe.Src = d.node
 		probe.Dst = t
 		probe.Region = m.Region
@@ -458,7 +470,7 @@ func (d *dirSlice) process(e *dirEntry, m *Msg) {
 			probe.Type = MsgInv
 		}
 		probe.Direct = direct && e.owners.Has(t)
-		d.sys.send(probe)
+		d.tl.send(probe)
 	})
 }
 
@@ -491,10 +503,10 @@ func (d *dirSlice) recvResponse(m *Msg) {
 		e.l2dirty = true
 	}
 	var evictAudit func()
-	if d.sys.transitions != nil && m.TxnID == 0 {
+	if d.tl.transitions != nil && m.TxnID == 0 {
 		from := d.dirState(e)
 		evictAudit = func() {
-			d.sys.recordTransition("Dir", from, m.Type.String(), d.dirState(e))
+			d.tl.recordTransition("Dir", from, m.Type.String(), d.dirState(e))
 		}
 	}
 	if !m.StillSharer {
@@ -515,9 +527,11 @@ func (d *dirSlice) recvResponse(m *Msg) {
 			req := e.txn.req
 			forwarded := e.txn.forwarded
 			e.txn = nil
-			if d.sys.lat != nil && req.Type != MsgRecall {
+			if req.Type != MsgRecall {
 				// Recall transactions carry Src=0, not a requester core.
-				d.sys.lat.LastAck(req.Src, uint64(d.sys.eng.Now()))
+				if lt := d.sys.latFor(req.Src); lt != nil {
+					lt.LastAck(req.Src, uint64(d.tl.eng.Now()))
+				}
 			}
 			d.finish(e, req, forwarded)
 		}
@@ -533,9 +547,9 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 		// dirty data patched. If a request raced in while the recall
 		// ran, abandon the eviction and serve it (the data is current);
 		// otherwise free the slot.
-		if d.sys.rec != nil {
-			d.sys.rec.Record(obs.Event{
-				Cycle: d.sys.eng.Now(), Kind: obs.KindTxnEnd, Sub: uint8(MsgRecall),
+		if d.tl.rec != nil {
+			d.tl.rec.Record(obs.Event{
+				Cycle: d.tl.eng.Now(), Kind: obs.KindTxnEnd, Sub: uint8(MsgRecall),
 				Node: int16(d.node), Peer: -1, Region: uint64(e.region),
 			})
 		}
@@ -546,11 +560,11 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 			d.clearBusy(e)
 			d.dropEntry(e)
 		}
-		d.sys.freeMsg(m)
+		d.tl.freeMsg(m)
 		return
 	}
 	req := m.Src
-	reply := d.sys.newMsg()
+	reply := d.tl.newMsg()
 	reply.Src = d.node
 	reply.Dst = req
 	reply.Region = m.Region
@@ -591,7 +605,7 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 	var delay engine.Cycle
 	if dataBearing && !forwarded {
 		if d.sys.cfg.NonInclusiveL2 && d.fetchMissing(e, m.R.Bitmap()) {
-			d.sys.st.MemFetches++
+			d.tl.st.MemFetches++
 			delay = d.sys.cfg.MemLat
 		}
 		d.loadPayload(e, reply)
@@ -609,17 +623,17 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 	if !forwarded {
 		if delay > 0 {
 			reply.phase = phaseSend
-			d.sys.eng.ScheduleRunner(delay, reply)
+			d.tl.eng.ScheduleRunner(delay, reply)
 		} else {
-			d.sys.send(reply)
+			d.tl.send(reply)
 		}
 	} else {
 		// A 3-hop owner already supplied the requester; the unsent
 		// reply goes straight back to the pool.
-		d.sys.freeMsg(reply)
+		d.tl.freeMsg(reply)
 	}
-	if d.sys.transitions != nil {
-		d.sys.recordTransition("Dir", e.auditFrom, m.Type.String(), d.dirState(e))
+	if d.tl.transitions != nil {
+		d.tl.recordTransition("Dir", e.auditFrom, m.Type.String(), d.dirState(e))
 	}
 	// The region stays busy until the requester's UNBLOCK confirms the
 	// fill is installed; only then may the next transaction's probes
@@ -630,15 +644,15 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 		d.unblock(e)
 	}
 	// The request's transaction is fully retired: recycle it.
-	d.sys.freeMsg(m)
+	d.tl.freeMsg(m)
 }
 
 // unblock reopens the region after the requester installed its fill
 // and activates the next queued transaction, if any.
 func (d *dirSlice) unblock(e *dirEntry) {
-	if d.sys.rec != nil {
-		d.sys.rec.Record(obs.Event{
-			Cycle: d.sys.eng.Now(), Kind: obs.KindTxnEnd,
+	if d.tl.rec != nil {
+		d.tl.rec.Record(obs.Event{
+			Cycle: d.tl.eng.Now(), Kind: obs.KindTxnEnd,
 			Node: int16(d.node), Peer: -1, Region: uint64(e.region),
 		})
 	}
@@ -661,7 +675,7 @@ func (d *dirSlice) popQueue(e *dirEntry) {
 	e.queue[n] = nil
 	e.queue = e.queue[:n]
 	next.phase = phaseActivate
-	d.sys.eng.ScheduleRunner(1, next)
+	d.tl.eng.ScheduleRunner(1, next)
 }
 
 // loadPayload fills a data reply with the requested words from the L2

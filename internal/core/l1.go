@@ -21,6 +21,7 @@ import (
 // outstanding).
 type l1Ctrl struct {
 	sys   *System
+	tl    *tile // this core's partition: engine, stats shard, msg pool
 	id    int
 	cache *cache.Cache
 	pred  predictor.Predictor
@@ -100,9 +101,9 @@ type mshr struct {
 	done     completer
 }
 
-func newL1(sys *System, id int, c *cache.Cache, p predictor.Predictor) *l1Ctrl {
+func newL1(sys *System, tl *tile, id int, c *cache.Cache, p predictor.Predictor) *l1Ctrl {
 	l := &l1Ctrl{
-		sys: sys, id: id, cache: c, pred: p,
+		sys: sys, tl: tl, id: id, cache: c, pred: p,
 		wordCause: make(map[mem.RegionID]*[mem.MaxRegionWords]deathCause),
 	}
 	l.resolveEv.l = l
@@ -140,7 +141,7 @@ func (l *l1Ctrl) markDeath(b *cache.Block, cause deathCause) {
 // region's last death decides.
 func (l *l1Ctrl) classifyMiss(region mem.RegionID, w uint8, upgrade bool) {
 	if upgrade {
-		l.sys.st.MissesCoherence++
+		l.tl.st.MissesCoherence++
 		return
 	}
 	var cause deathCause
@@ -149,20 +150,20 @@ func (l *l1Ctrl) classifyMiss(region mem.RegionID, w uint8, upgrade bool) {
 	}
 	switch cause {
 	case diedByEviction:
-		l.sys.st.MissesCapacity++
+		l.tl.st.MissesCapacity++
 	case diedByInvalidation:
-		l.sys.st.MissesCoherence++
+		l.tl.st.MissesCoherence++
 	default:
 		if l.cache.HasRegion(region) {
-			l.sys.st.MissesGranularity++
+			l.tl.st.MissesGranularity++
 		} else {
-			l.sys.st.MissesCold++
+			l.tl.st.MissesCold++
 		}
 	}
 }
 
-// cs is this core's per-core counter slice.
-func (l *l1Ctrl) cs() *stats.CoreStats { return &l.sys.st.PerCore[l.id] }
+// cs is this core's per-core counter slice (in the tile's shard).
+func (l *l1Ctrl) cs() *stats.CoreStats { return &l.tl.st.PerCore[l.id] }
 
 // access performs one CPU memory reference. done.complete is invoked
 // with the loaded value (or the stored value) when the reference
@@ -176,7 +177,7 @@ func (l *l1Ctrl) access(addr mem.Addr, mode accessMode, pc, storeVal uint64, don
 	l.resolveEv.pc = pc
 	l.resolveEv.storeVal = storeVal
 	l.resolveEv.done = done
-	l.sys.eng.ScheduleRunner(l.sys.cfg.L1HitLat, &l.resolveEv)
+	l.tl.eng.ScheduleRunner(l.sys.cfg.L1HitLat, &l.resolveEv)
 }
 
 // applyWrite commits a store or RMW to a writable block and returns
@@ -197,8 +198,8 @@ func applyWrite(b *cache.Block, w uint8, mode accessMode, storeVal uint64) uint6
 func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, done completer) {
 	g := l.sys.geom
 	region, w := g.Region(addr), g.WordOffset(addr)
-	if l.sys.attrib != nil {
-		l.sys.attrib.Access(l.id, region, w, mode.write())
+	if l.tl.attrib != nil {
+		l.tl.attrib.Access(l.id, region, w, mode.write())
 	}
 	audit := l.auditFrom(region)
 	event := "Load"
@@ -208,7 +209,7 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 	b := l.cache.Lookup(region, w)
 	if b != nil {
 		if !mode.write() {
-			l.sys.st.L1Hits++
+			l.tl.st.L1Hits++
 			l.cs().Hits++
 			b.Touch(w)
 			audit(event)
@@ -217,7 +218,7 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 		}
 		switch b.State {
 		case cache.Modified, cache.Exclusive:
-			l.sys.st.L1Hits++
+			l.tl.st.L1Hits++
 			l.cs().Hits++
 			val := applyWrite(b, w, mode, storeVal)
 			audit(event)
@@ -225,11 +226,11 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 			return
 		case cache.Shared:
 			// Write to a clean shared block: upgrade miss.
-			l.sys.st.L1Misses++
+			l.tl.st.L1Misses++
 			l.cs().Misses++
-			l.sys.st.UpgradeMisses++
-			if l.sys.attrib != nil {
-				l.sys.attrib.Upgrade(l.id, region)
+			l.tl.st.UpgradeMisses++
+			if l.tl.attrib != nil {
+				l.tl.attrib.Upgrade(l.id, region)
 			}
 			l.classifyMiss(region, w, true)
 			l.startMiss(mshr{
@@ -242,7 +243,7 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 	}
 	// Plain miss: predict the fetch range and trim it against resident
 	// sub-blocks so blocks never overlap.
-	l.sys.st.L1Misses++
+	l.tl.st.L1Misses++
 	l.cs().Misses++
 	l.classifyMiss(region, w, false)
 	want := l.cache.TrimFill(region, l.pred.Predict(pc, region, w), w)
@@ -262,12 +263,12 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 // records the transition once the event has been applied. A no-op
 // when transition auditing is disabled.
 func (l *l1Ctrl) auditFrom(region mem.RegionID) func(event string) {
-	if l.sys.transitions == nil {
+	if l.tl.transitions == nil {
 		return func(string) {}
 	}
 	from := l.regionState(region)
 	return func(event string) {
-		l.sys.recordTransition("L1", from, event, l.regionState(region))
+		l.tl.recordTransition("L1", from, event, l.regionState(region))
 	}
 }
 
@@ -275,41 +276,41 @@ func (l *l1Ctrl) startMiss(ms mshr, t MsgType) {
 	if l.msLive {
 		panic(fmt.Sprintf("core: L1 %d issued a second miss to region %d (in-order core)", l.id, ms.region))
 	}
-	ms.issuedAt = l.sys.eng.Now()
+	ms.issuedAt = l.tl.eng.Now()
 	l.ms = ms
 	l.msLive = true
-	l.sys.mshrLive++
-	if l.sys.lat != nil {
-		l.sys.lat.Issue(l.id, uint64(ms.issuedAt))
+	l.tl.mshrLive++
+	if lt := l.sys.latFor(l.id); lt != nil {
+		lt.Issue(l.id, uint64(ms.issuedAt))
 	}
-	if l.sys.rec != nil {
-		l.sys.rec.Record(obs.Event{
+	if l.tl.rec != nil {
+		l.tl.rec.Record(obs.Event{
 			Cycle: ms.issuedAt, Kind: obs.KindMissStart, Sub: uint8(t),
 			Node: int16(l.id), Peer: -1, Region: uint64(ms.region),
 		})
 	}
-	m := l.sys.newMsg()
+	m := l.tl.newMsg()
 	m.Type = t
 	m.Src = l.id
 	m.Dst = l.sys.home(ms.region)
 	m.Region = ms.region
 	m.R = ms.want
 	m.Requester = l.id
-	l.sys.send(m)
+	l.tl.send(m)
 }
 
 // retireMiss records the completed miss's latency. The breakdown's
 // Complete stamp uses the same Now() as RecordMissLatency, so the
 // phase sums reconcile exactly against stats.AvgMissLatency.
 func (l *l1Ctrl) retireMiss(ms *mshr) {
-	now := l.sys.eng.Now()
-	l.sys.st.RecordMissLatency(uint64(now - ms.issuedAt))
-	l.sys.mshrLive--
-	if l.sys.lat != nil {
-		l.sys.lat.Complete(l.id, uint64(now))
+	now := l.tl.eng.Now()
+	l.tl.st.RecordMissLatency(uint64(now - ms.issuedAt))
+	l.tl.mshrLive--
+	if lt := l.sys.latFor(l.id); lt != nil {
+		lt.Complete(l.id, uint64(now))
 	}
-	if l.sys.rec != nil {
-		l.sys.rec.Record(obs.Event{
+	if l.tl.rec != nil {
+		l.tl.rec.Record(obs.Event{
 			Cycle: now, Kind: obs.KindMissEnd,
 			Node: int16(l.id), Peer: -1, Region: uint64(ms.region),
 		})
@@ -359,10 +360,10 @@ func (l *l1Ctrl) fill(m *Msg) {
 			break
 		}
 	}
-	l.sys.st.RecordFill(m.R.Words())
-	l.sys.st.DataWordsIn += uint64(m.PayloadWords())
-	if l.sys.attrib != nil {
-		l.sys.attrib.Fill(l.id, m.Region, m.R.Words())
+	l.tl.st.RecordFill(m.R.Words())
+	l.tl.st.DataWordsIn += uint64(m.PayloadWords())
+	if l.tl.attrib != nil {
+		l.tl.attrib.Fill(l.id, m.Region, m.R.Words())
 	}
 	victims := l.cache.Insert(blk)
 	l.handleVictims(victims)
@@ -386,12 +387,12 @@ func (l *l1Ctrl) fill(m *Msg) {
 // sendUnblock reopens the region at the directory once a response has
 // been installed.
 func (l *l1Ctrl) sendUnblock(region mem.RegionID) {
-	m := l.sys.newMsg()
+	m := l.tl.newMsg()
 	m.Type = MsgUnblock
 	m.Src = l.id
 	m.Dst = l.sys.home(region)
 	m.Region = region
-	l.sys.send(m)
+	l.tl.send(m)
 }
 
 // grant completes an upgrade. If a racing remote write invalidated the
@@ -411,14 +412,14 @@ func (l *l1Ctrl) grant(m *Msg) {
 		l.sendUnblock(m.Region)
 		ms.upgrade = false
 		ms.want = l.cache.TrimFill(ms.region, ms.upgradeR, ms.word)
-		retry := l.sys.newMsg()
+		retry := l.tl.newMsg()
 		retry.Type = MsgGetX
 		retry.Src = l.id
 		retry.Dst = l.sys.home(ms.region)
 		retry.Region = ms.region
 		retry.R = ms.want
 		retry.Requester = l.id
-		l.sys.send(retry)
+		l.tl.send(retry)
 		return
 	}
 	audit := l.auditFrom(m.Region)
@@ -444,7 +445,7 @@ func (l *l1Ctrl) probeGetS(m *Msg) {
 		l.nack(m)
 		return
 	}
-	reply := l.sys.newMsg()
+	reply := l.tl.newMsg()
 	reply.Type = MsgAck
 	reply.Src = l.id
 	reply.Dst = m.Src
@@ -479,13 +480,13 @@ func (l *l1Ctrl) probeGetS(m *Msg) {
 func (l *l1Ctrl) probeInval(m *Msg) {
 	defer l.auditFrom(m.Region)(m.Type.String())
 	if m.Type == MsgInv {
-		l.sys.st.InvMsgs++
+		l.tl.st.InvMsgs++
 	}
 	if !l.cache.HasRegion(m.Region) {
 		l.nack(m)
 		return
 	}
-	reply := l.sys.newMsg()
+	reply := l.tl.newMsg()
 	reply.Type = MsgAck
 	reply.Src = l.id
 	reply.Dst = m.Src
@@ -512,15 +513,15 @@ func (l *l1Ctrl) probeInval(m *Msg) {
 		}
 	}
 	if len(extracted) > 0 {
-		l.sys.st.Invalidations++
+		l.tl.st.Invalidations++
 		l.cs().Invalidations++
-		if l.sys.attrib != nil {
+		if l.tl.attrib != nil {
 			words := 0
 			for i := range extracted {
 				words += extracted[i].R.Words()
 			}
 			// Recall INVs carry Requester -1: no core is the offender.
-			l.sys.attrib.Invalidation(m.Region, m.Requester, l.id, words)
+			l.tl.attrib.Invalidation(m.Region, m.Requester, l.id, words)
 		}
 	}
 	// Protozoa-SW+MR: the probed owner is fully revoked — remaining
@@ -587,15 +588,15 @@ func (l *l1Ctrl) finishReply(reply *Msg, processed int) {
 		}
 	}
 	if reply.Type == MsgWback {
-		l.sys.st.Writebacks++
-		l.sys.st.DataWordsOut += uint64(reply.PayloadWords())
+		l.tl.st.Writebacks++
+		l.tl.st.DataWordsOut += uint64(reply.PayloadWords())
 	}
 	delay := engine.Cycle(0)
 	if processed > 1 {
 		delay = engine.Cycle(processed - 1)
 	}
 	reply.phase = phaseSend
-	l.sys.eng.ScheduleRunner(delay, reply)
+	l.tl.eng.ScheduleRunner(delay, reply)
 }
 
 // tryDirectForward implements the 3-hop fast path (Section 6): when
@@ -615,7 +616,7 @@ func (l *l1Ctrl) tryDirectForward(m *Msg, grant MsgType) bool {
 			break
 		}
 	}
-	data := l.sys.newMsg()
+	data := l.tl.newMsg()
 	data.Type = grant
 	data.Src = l.id
 	data.Dst = m.Requester
@@ -628,21 +629,21 @@ func (l *l1Ctrl) tryDirectForward(m *Msg, grant MsgType) bool {
 			break
 		}
 	}
-	l.sys.st.DirectForwards++
-	l.sys.send(data)
+	l.tl.st.DirectForwards++
+	l.tl.send(data)
 	return true
 }
 
 // nack answers a probe when nothing of the region is resident: the
 // stale-directory-entry case after a silent clean eviction.
 func (l *l1Ctrl) nack(probe *Msg) {
-	m := l.sys.newMsg()
+	m := l.tl.newMsg()
 	m.Type = MsgNack
 	m.Src = l.id
 	m.Dst = probe.Src
 	m.Region = probe.Region
 	m.TxnID = probe.TxnID
-	l.sys.send(m)
+	l.tl.send(m)
 }
 
 // handleVictims processes capacity evictions: classify each dead
@@ -652,7 +653,7 @@ func (l *l1Ctrl) nack(probe *Msg) {
 func (l *l1Ctrl) handleVictims(victims []cache.Block) {
 	for i := range victims {
 		v := &victims[i]
-		l.sys.st.Evictions++
+		l.tl.st.Evictions++
 		l.markDeath(v, diedByEviction)
 		l.classifyDeath(v)
 		if v.State != cache.Modified {
@@ -661,16 +662,16 @@ func (l *l1Ctrl) handleVictims(victims []cache.Block) {
 			// replacement-notification discipline). Precise directories
 			// keep the paper's silent-drop-then-NACK behaviour.
 			if l.sys.cfg.Directory == DirBloom && !l.cache.HasRegion(v.Region) {
-				note := l.sys.newMsg()
+				note := l.tl.newMsg()
 				note.Type = MsgWbackLast
 				note.Src = l.id
 				note.Dst = l.sys.home(v.Region)
 				note.Region = v.Region
-				l.sys.send(note)
+				l.tl.send(note)
 			}
 			continue
 		}
-		wb := l.sys.newMsg()
+		wb := l.tl.newMsg()
 		wb.Src = l.id
 		wb.Dst = l.sys.home(v.Region)
 		wb.Region = v.Region
@@ -689,10 +690,10 @@ func (l *l1Ctrl) handleVictims(victims []cache.Block) {
 		} else {
 			wb.Type = MsgWbackLast
 		}
-		l.sys.st.Writebacks++
-		l.sys.st.DataWordsOut += uint64(wb.PayloadWords())
+		l.tl.st.Writebacks++
+		l.tl.st.DataWordsOut += uint64(wb.PayloadWords())
 		l.classifyWriteback(v)
-		l.sys.send(wb)
+		l.tl.send(wb)
 	}
 }
 
@@ -700,13 +701,13 @@ func (l *l1Ctrl) handleVictims(victims []cache.Block) {
 // unused (Figure 9) and trains the predictor on the observed usage.
 func (l *l1Ctrl) classifyDeath(b *cache.Block) {
 	used := b.UsedWords()
-	l.sys.st.UsedDataBytes += uint64(used) * mem.WordBytes
-	l.sys.st.UnusedDataBytes += uint64(b.R.Words()-used) * mem.WordBytes
-	if l.sys.attrib != nil {
+	l.tl.st.UsedDataBytes += uint64(used) * mem.WordBytes
+	l.tl.st.UnusedDataBytes += uint64(b.R.Words()-used) * mem.WordBytes
+	if l.tl.attrib != nil {
 		// Every fill eventually reaches one of the classifyDeath sites
 		// (eviction, invalidation, or Run's residual flush), so the
 		// tracker's fetched == used + unused reconciles exactly.
-		l.sys.attrib.Death(l.id, b.Region, used, b.R.Words())
+		l.tl.attrib.Death(l.id, b.Region, used, b.R.Words())
 	}
 	l.pred.Train(b.FetchPC, b.Region, b.FetchWord, b.Touched, b.R)
 }
@@ -714,6 +715,6 @@ func (l *l1Ctrl) classifyDeath(b *cache.Block) {
 // classifyWriteback attributes an outgoing writeback payload's words.
 func (l *l1Ctrl) classifyWriteback(b *cache.Block) {
 	used := b.UsedWords()
-	l.sys.st.UsedDataBytes += uint64(used) * mem.WordBytes
-	l.sys.st.UnusedDataBytes += uint64(b.R.Words()-used) * mem.WordBytes
+	l.tl.st.UsedDataBytes += uint64(used) * mem.WordBytes
+	l.tl.st.UnusedDataBytes += uint64(b.R.Words()-used) * mem.WordBytes
 }

@@ -17,9 +17,26 @@ import (
 // most recent capacity events (capacity <= 0 selects the default 1 Mi).
 // Call before Run. The collected events export as a Perfetto-loadable
 // Chrome trace via WriteChromeTrace.
+// Under PDES the returned recorder is the merge target: each tile
+// records into its own shard (an equal split of the capacity) and the
+// shards are folded into the target, cycle-ordered, when Run completes.
 func (s *System) EnableEventTrace(capacity int) *obs.Recorder {
+	if capacity <= 0 {
+		capacity = obs.DefaultRecorderCap
+	}
 	s.rec = obs.NewRecorder(capacity)
 	s.mesh.SetRecorder(s.rec)
+	for _, t := range s.tiles {
+		if s.pdes {
+			per := capacity / len(s.tiles)
+			if per < 1 {
+				per = 1
+			}
+			t.rec = obs.NewRecorder(per)
+		} else {
+			t.rec = s.rec
+		}
+	}
 	return s.rec
 }
 
@@ -30,8 +47,17 @@ func (s *System) Recorder() *obs.Recorder { return s.rec }
 // EnableLatencyBreakdown attaches per-transaction phase timing: every
 // miss's life is stamped at issue, directory accept, activation, L2
 // access, last probe ack, and completion. Call before Run.
+// Under PDES the returned breakdown is the merge target: stamps go to
+// per-core shards (a core's stamps form a causal chain that never runs
+// concurrently with itself) merged into the target when Run completes.
 func (s *System) EnableLatencyBreakdown() *obs.LatencyBreakdown {
 	s.lat = obs.NewLatencyBreakdown(s.cfg.Cores)
+	if s.pdes {
+		s.latShards = make([]*obs.LatencyBreakdown, s.cfg.Cores)
+		for i := range s.latShards {
+			s.latShards[i] = obs.NewLatencyBreakdown(s.cfg.Cores)
+		}
+	}
 	return s.lat
 }
 
@@ -43,9 +69,18 @@ func (s *System) LatencyBreakdown() *obs.LatencyBreakdown { return s.lat }
 // word accounting, sharing-pattern classification, and
 // invalidation/upgrade attribution to offending regions and cores.
 // Call before Run.
+// Under PDES the returned tracker is the merge target for the per-tile
+// trackers folded in when Run completes.
 func (s *System) EnableAttribution() *attrib.Tracker {
 	if s.attrib == nil {
 		s.attrib = attrib.New(s.cfg.Cores)
+		for _, t := range s.tiles {
+			if s.pdes {
+				t.attrib = attrib.New(s.cfg.Cores)
+			} else {
+				t.attrib = s.attrib
+			}
+		}
 	}
 	return s.attrib
 }
@@ -74,16 +109,17 @@ func (s *System) EnableMetrics() *obs.Registry {
 	}
 	r := &obs.Registry{}
 	r.Register("event_queue_depth", "events pending in the engine queue",
-		func() float64 { return float64(s.eng.Pending()) })
+		func() float64 { return float64(s.queuePending()) })
 	r.Register("event_queue_high_water", "deepest the engine queue has been",
-		func() float64 { return float64(s.eng.HighWater()) })
+		func() float64 { return float64(s.queueHighWater()) })
 	r.Register("msg_pool_hit_rate", "fraction of messages served from the free list",
 		func() float64 {
-			total := s.poolHits + s.poolAllocs
+			hits, allocs := s.poolCounts()
+			total := hits + allocs
 			if total == 0 {
 				return 0
 			}
-			return float64(s.poolHits) / float64(total)
+			return float64(hits) / float64(total)
 		})
 	r.Register("dir_busy_txns", "regions with an active directory transaction",
 		func() float64 {
@@ -94,12 +130,18 @@ func (s *System) EnableMetrics() *obs.Registry {
 			return float64(busy)
 		})
 	r.Register("mshr_live", "misses outstanding across all cores",
-		func() float64 { return float64(s.mshrLive) })
+		func() float64 {
+			live := 0
+			for _, t := range s.tiles {
+				live += t.mshrLive
+			}
+			return float64(live)
+		})
 	r.Register("mshr_stall_cycles", "cumulative core cycles stalled on L1 misses",
 		func() float64 { return float64(s.st.MissLatencySum) })
 	r.Register("noc_link_utilization", "flit-hops per link-cycle across the interconnect",
 		func() float64 {
-			cycles := float64(s.eng.Now()) * float64(s.mesh.LinkCount())
+			cycles := float64(s.simNow()) * float64(s.mesh.LinkCount())
 			if cycles == 0 {
 				return 0
 			}

@@ -21,7 +21,7 @@ func TestMsgLogCopiesPooledMsg(t *testing.T) {
 	}
 	sys.EnableMessageLog(16)
 
-	m := sys.newMsg()
+	m := sys.tiles[0].newMsg()
 	m.Type = MsgGetX
 	m.Src = 0
 	m.Dst = 0
@@ -31,8 +31,8 @@ func TestMsgLogCopiesPooledMsg(t *testing.T) {
 
 	// The message dies: the pool zeroes it for reuse, and the next
 	// taker scribbles fresh fields over the same backing struct.
-	sys.freeMsg(m)
-	reused := sys.newMsg()
+	sys.tiles[0].freeMsg(m)
+	reused := sys.tiles[0].newMsg()
 	if reused != m {
 		t.Fatalf("free list did not hand back the same message")
 	}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"protozoa/internal/engine"
+	"protozoa/internal/obs"
+	"protozoa/internal/stats"
+)
+
+// This file is the conservative parallel-discrete-event (PDES) driver
+// behind Config.Workers. The machine is partitioned by tile (core + L1
+// + co-located L2/directory slice + router accounting), each tile owns
+// a private event queue, and the partitions execute concurrently inside
+// bounded time windows.
+//
+// The lookahead contract makes this safe: every cross-tile interaction
+// is a coherence message, and the mesh charges at least
+// Lookahead() = RouterLat + HopLatency cycles between send and
+// delivery. A window [T, T+W) with W = Lookahead() therefore cannot
+// carry a message sent inside the window back into the same window: a
+// send at cycle >= T arrives at cycle >= T+W. Cross-tile sends park in
+// the sender's outbox and the coordinator moves them to the destination
+// queue at the window barrier, so within a window every tile runs on
+// purely local state.
+//
+// Determinism does not depend on the worker count. Tiles are mutually
+// independent inside a window, so which worker runs which tile (and in
+// what order) cannot change any tile's event sequence; every
+// cross-window interaction funnels through the single-threaded
+// coordinator, which iterates tiles in index order. Workers=1 and
+// Workers=N produce byte-identical stats, traces, timelines and
+// attribution for every N.
+
+// runPDES executes the machine to completion with the window loop.
+// System.Run dispatches here when Config.Workers > 0.
+func (s *System) runPDES() error {
+	if err := s.pdesCheck(); err != nil {
+		return err
+	}
+	W := s.mesh.Lookahead()
+	for _, c := range s.cpus {
+		c.tl.eng.ScheduleRunner(0, &c.stepEv)
+	}
+	workers := s.cfg.Workers
+	if workers > len(s.tiles) {
+		workers = len(s.tiles)
+	}
+	pool := newPDESPool(workers)
+	defer pool.stop()
+
+	if s.timelineInterval > 0 {
+		s.nextSample = s.timelineInterval
+	}
+
+	var prevEnd engine.Cycle
+	active := make([]*tile, 0, len(s.tiles))
+	for {
+		// Deliver the previous window's cross-tile messages. Their
+		// arrival cycles are >= prevEnd by the lookahead contract, so
+		// they land in the destination's future.
+		for _, t := range s.tiles {
+			for _, om := range t.outbox {
+				s.tiles[om.m.Dst].eng.ScheduleRunnerAt(om.at, om.m)
+			}
+			t.outbox = t.outbox[:0]
+		}
+
+		// Global barrier release. Arrival is recorded per tile as the
+		// arrival events run; the count-and-release that the sequential
+		// mode performs inline happens here, at the window edge, which
+		// is the earliest globally-consistent point.
+		arrived, done := 0, 0
+		for _, t := range s.tiles {
+			if t.coreDone {
+				done++
+			}
+			if t.barrierArrived {
+				arrived++
+			}
+		}
+		if arrived > 0 && arrived+done == s.cfg.Cores {
+			for _, t := range s.tiles {
+				if t.barrierArrived {
+					t.barrierArrived = false
+					t.eng.ScheduleRunnerAt(prevEnd, &s.cpus[t.id].stepEv)
+				}
+			}
+		}
+
+		var T engine.Cycle
+		found := false
+		for _, t := range s.tiles {
+			if at, ok := t.eng.PeekCycle(); ok && (!found || at < T) {
+				T, found = at, true
+			}
+		}
+		if !found {
+			break
+		}
+		windowEnd := T + W
+
+		active = active[:0]
+		for _, t := range s.tiles {
+			if at, ok := t.eng.PeekCycle(); ok && at < windowEnd {
+				active = append(active, t)
+			}
+		}
+		if pool == nil || len(active) == 1 {
+			for _, t := range active {
+				t.eng.RunUntil(windowEnd)
+			}
+		} else {
+			pool.run(active, windowEnd)
+		}
+
+		prevEnd = windowEnd
+		s.pdesNow = windowEnd
+
+		if s.cfg.MaxEvents > 0 && s.EventsProcessed() >= s.cfg.MaxEvents && s.pdesPending() > 0 {
+			return fmt.Errorf("core: watchdog fired after %d events (livelock?)\n%s",
+				s.EventsProcessed(), s.diagnose())
+		}
+
+		// Timeline ticks are nominal: a sample labelled cycle C is taken
+		// at the first window edge past C. The edge sequence depends only
+		// on event timings, so samples are worker-count independent.
+		if s.timelineInterval > 0 {
+			for s.nextSample < windowEnd {
+				s.samplePDES(s.nextSample)
+				s.nextSample += s.timelineInterval
+			}
+		}
+	}
+
+	s.coresDone, s.barrierArrived = 0, 0
+	for _, t := range s.tiles {
+		if t.coreDone {
+			s.coresDone++
+		}
+		if t.barrierArrived {
+			s.barrierArrived++
+		}
+	}
+	if s.coresDone != s.cfg.Cores {
+		return fmt.Errorf("core: deadlock: %d/%d cores finished, %d at barrier\n%s",
+			s.coresDone, s.cfg.Cores, s.barrierArrived, s.diagnose())
+	}
+	var last engine.Cycle
+	for _, t := range s.tiles {
+		if t.retire > last {
+			last = t.retire
+		}
+	}
+	s.lastRetire = last
+	s.flushResidual()
+	s.mergePDES()
+	s.st.ExecCycles = uint64(last)
+	return nil
+}
+
+// pdesCheck rejects configurations whose hooks assume a single global
+// event order. These remain available in the sequential mode.
+func (s *System) pdesCheck() error {
+	if W := s.mesh.Lookahead(); W < 1 {
+		return fmt.Errorf("core: parallel run needs positive NoC lookahead, got %d", W)
+	}
+	if s.obs != nil {
+		return fmt.Errorf("core: workers > 0 is incompatible with a correctness observer (needs a global event order)")
+	}
+	if s.log != nil {
+		return fmt.Errorf("core: workers > 0 is incompatible with the message log (global ring); run with workers 0")
+	}
+	if s.cfg.Noc.ModelContention {
+		return fmt.Errorf("core: workers > 0 is incompatible with NoC contention modelling (shared link state)")
+	}
+	return nil
+}
+
+// pdesPending counts work anywhere in the machine: queued events plus
+// parked outbox messages.
+func (s *System) pdesPending() int {
+	n := 0
+	for _, t := range s.tiles {
+		n += t.eng.Pending() + len(t.outbox)
+	}
+	return n
+}
+
+// samplePDES takes one nominal timeline tick: rebuild the merged stats
+// view, append the sample, and feed the metrics registry and live hook.
+func (s *System) samplePDES(cycle engine.Cycle) {
+	s.mergeShardStats()
+	s.timeline = append(s.timeline, TimelineSample{
+		Cycle:    cycle,
+		Accesses: s.st.Accesses,
+		Misses:   s.st.L1Misses,
+		Traffic:  s.st.TrafficTotal(),
+		FlitHops: s.st.FlitHops,
+	})
+	if s.metrics != nil {
+		s.metrics.Sample(uint64(cycle))
+	}
+	if s.onSample != nil {
+		s.onSample(uint64(cycle))
+	}
+}
+
+// mergeShardStats rebuilds s.st from the per-tile shards. The shards
+// stay authoritative for the whole run and the rebuild starts from
+// zero, so mid-run samples and the final merge use the same path.
+func (s *System) mergeShardStats() {
+	per := s.st.PerCore
+	*s.st = stats.Stats{PerCore: per}
+	for i := range per {
+		per[i] = stats.CoreStats{}
+	}
+	for _, t := range s.tiles {
+		s.st.Merge(t.st)
+	}
+}
+
+// mergePDES folds every per-tile/per-core observability shard into the
+// targets handed out by the Enable* methods before the run.
+func (s *System) mergePDES() {
+	s.mergeShardStats()
+	if s.lat != nil {
+		for _, sh := range s.latShards {
+			s.lat.Merge(sh)
+		}
+	}
+	if s.attrib != nil {
+		for _, t := range s.tiles {
+			s.attrib.Merge(t.attrib)
+		}
+	}
+	if s.rec != nil {
+		var evs []obs.Event
+		var dropped uint64
+		for _, t := range s.tiles {
+			evs = append(evs, t.rec.Snapshot()...)
+			dropped += t.rec.Dropped()
+		}
+		// Stable sort: ties keep tile order, so the merged trace is
+		// worker-count independent.
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Cycle < evs[j].Cycle })
+		for _, ev := range evs {
+			s.rec.Record(ev)
+		}
+		s.rec.AddDropped(dropped)
+	}
+	if s.transitions != nil {
+		for _, t := range s.tiles {
+			for k, v := range t.transitions {
+				s.transitions[k] += v
+			}
+		}
+	}
+}
+
+// pdesPool is the persistent worker crew behind the window loop. The
+// window-loop goroutine doubles as worker 0; workers 1..n-1 spin on an
+// epoch counter, so handing off a window costs two atomic operations
+// rather than a park/unpark round trip — a window is typically a few
+// microseconds of work, and futex wakeups would dominate it.
+type pdesPool struct {
+	workers int
+	active  []*tile
+	limit   engine.Cycle
+	epoch   atomic.Uint64
+	done    []padUint64
+	quit    atomic.Bool
+}
+
+// padUint64 keeps each worker's completion counter on its own cache
+// line so the coordinator's polling doesn't bounce lines between
+// workers.
+type padUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+func newPDESPool(workers int) *pdesPool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &pdesPool{workers: workers, done: make([]padUint64, workers)}
+	for w := 1; w < workers; w++ {
+		go p.work(w)
+	}
+	return p
+}
+
+// work is worker w's loop: wait for a new epoch, run the tiles dealt to
+// this worker by static stride, post completion. The epoch increment
+// happens-after the coordinator writes active/limit, and the done store
+// happens-after the tile runs, so no other synchronization is needed.
+func (p *pdesPool) work(w int) {
+	var seen uint64
+	for {
+		e := p.epoch.Load()
+		if e == seen {
+			if p.quit.Load() {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		seen = e
+		for i := w; i < len(p.active); i += p.workers {
+			p.active[i].eng.RunUntil(p.limit)
+		}
+		p.done[w].v.Store(e)
+	}
+}
+
+// run executes one window across the crew. Tiles are independent inside
+// a window, so the round-robin deal cannot affect results — only load
+// balance.
+func (p *pdesPool) run(active []*tile, limit engine.Cycle) {
+	p.active = active
+	p.limit = limit
+	e := p.epoch.Add(1)
+	for i := 0; i < len(active); i += p.workers {
+		active[i].eng.RunUntil(limit)
+	}
+	for w := 1; w < p.workers; w++ {
+		for p.done[w].v.Load() != e {
+			runtime.Gosched()
+		}
+	}
+}
+
+// stop retires the crew; nil-safe so the single-worker path can defer
+// it unconditionally.
+func (p *pdesPool) stop() {
+	if p == nil {
+		return
+	}
+	p.quit.Store(true)
+}

@@ -60,6 +60,12 @@ type Engine struct {
 	useHeap bool
 	heap    heapQueue
 	bq      bucketQueue
+
+	// Cached earliest queued cycle, maintained so the PDES window loop
+	// can take the minimum over many partitions without rescanning the
+	// bucket ring each time. Pops invalidate it; pushes keep it exact.
+	peekValid bool
+	peekMin   Cycle
 }
 
 // QueueEnvVar selects the queue implementation for New: set it to
@@ -99,6 +105,9 @@ func (e *Engine) push(it item) {
 		e.heap.push(it)
 	} else {
 		e.bq.push(it)
+	}
+	if e.peekValid && it.at < e.peekMin {
+		e.peekMin = it.at
 	}
 	if p := e.Pending(); p > e.high {
 		e.high = p
@@ -146,8 +155,30 @@ func (e *Engine) Pending() int {
 	return e.bq.size
 }
 
+// PeekCycle reports the cycle of the earliest queued event without
+// popping it. The result is cached until the next pop, so repeated
+// peeks (the PDES window-minimum scan) cost one comparison.
+func (e *Engine) PeekCycle() (Cycle, bool) {
+	if e.peekValid {
+		return e.peekMin, true
+	}
+	var at Cycle
+	var ok bool
+	if e.useHeap {
+		at, ok = e.heap.peekAt()
+	} else {
+		at, ok = e.bq.peekAt()
+	}
+	if ok {
+		e.peekMin = at
+		e.peekValid = true
+	}
+	return at, ok
+}
+
 // Step runs the next event; it reports false when the queue is empty.
 func (e *Engine) Step() bool {
+	e.peekValid = false
 	var it item
 	var ok bool
 	if e.useHeap {
@@ -166,6 +197,36 @@ func (e *Engine) Step() bool {
 		it.fn()
 	}
 	return true
+}
+
+// RunUntil runs every queued event with cycle < limit in (cycle, seq)
+// order, leaving later events queued; now ends at the last event run.
+// This is the PDES window body: events pushed while running (all at
+// cycles >= now) execute in the same call when they land before limit.
+func (e *Engine) RunUntil(limit Cycle) {
+	for {
+		var it item
+		var ok bool
+		if e.useHeap {
+			it, ok = e.heap.popBefore(limit)
+		} else {
+			it, ok = e.bq.popBefore(limit)
+		}
+		if !ok {
+			return
+		}
+		// Invalidate lazily, only once something actually popped: a
+		// no-op RunUntil (idle partition) keeps its cached minimum so
+		// the window loop's peek stays O(1).
+		e.peekValid = false
+		e.now = it.at
+		e.events++
+		if it.r != nil {
+			it.r.Run()
+		} else {
+			it.fn()
+		}
+	}
 }
 
 // Run drains the queue. It stops after maxEvents events when

@@ -48,6 +48,14 @@ func (h *heapQueue) peekAt() (Cycle, bool) {
 	return h.items[0].at, true
 }
 
+// popBefore pops the earliest item only when its cycle is below limit.
+func (h *heapQueue) popBefore(limit Cycle) (item, bool) {
+	if len(h.items) == 0 || h.items[0].at >= limit {
+		return item{}, false
+	}
+	return h.pop()
+}
+
 func (h *heapQueue) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -154,15 +162,76 @@ func (q *bucketQueue) pop() (item, bool) {
 		}
 		q.start = at
 		q.cursor = at
-		for {
-			nextAt, ok := q.far.peekAt()
-			if !ok || nextAt >= q.start+numBuckets {
-				break
-			}
-			it, _ := q.far.pop()
-			b := &q.buckets[it.at&bucketMask]
-			b.items = append(b.items, it)
-			q.inWin++
+		q.refill()
+	}
+}
+
+// refill drains far-future events landing in the (just repositioned)
+// window into their buckets. Heap pops come out in (cycle, seq) order,
+// so each bucket receives its items in seq order.
+func (q *bucketQueue) refill() {
+	for {
+		nextAt, ok := q.far.peekAt()
+		if !ok || nextAt >= q.start+numBuckets {
+			return
 		}
+		it, _ := q.far.pop()
+		b := &q.buckets[it.at&bucketMask]
+		b.items = append(b.items, it)
+		q.inWin++
+	}
+}
+
+// peekAt reports the earliest queued cycle without mutating the queue.
+// inWin > 0 guarantees a non-empty bucket within the window, so the
+// scan terminates before wrapping.
+func (q *bucketQueue) peekAt() (Cycle, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	if q.inWin > 0 {
+		for c := q.cursor; ; c++ {
+			if b := &q.buckets[c&bucketMask]; b.head < len(b.items) {
+				return b.items[b.head].at, true
+			}
+		}
+	}
+	return q.far.peekAt()
+}
+
+// popBefore is pop restricted to cycles below limit. Advancing the
+// cursor past empty buckets up to limit is safe: every push after this
+// call returns lands at >= the caller's limit (the PDES window edge) or
+// comes from an event this queue pops later, at >= its own cycle.
+func (q *bucketQueue) popBefore(limit Cycle) (item, bool) {
+	if q.size == 0 {
+		return item{}, false
+	}
+	for {
+		for q.inWin > 0 && q.cursor < limit {
+			b := &q.buckets[q.cursor&bucketMask]
+			if b.head < len(b.items) {
+				it := b.items[b.head]
+				b.items[b.head] = item{} // release closure/runner references
+				b.head++
+				q.inWin--
+				q.size--
+				return it, true
+			}
+			b.items = b.items[:0]
+			b.head = 0
+			q.cursor++
+		}
+		if q.inWin > 0 {
+			// Every cycle below limit is drained; the rest can wait.
+			return item{}, false
+		}
+		at, ok := q.far.peekAt()
+		if !ok || at >= limit {
+			return item{}, false
+		}
+		q.start = at
+		q.cursor = at
+		q.refill()
 	}
 }

@@ -227,25 +227,41 @@ func (m *Mesh) Latency(src, dst, bytes int) engine.Cycle {
 	return m.cfg.RouterLat + hops*m.cfg.HopLatency + (flits-1)*m.cfg.SerialLat
 }
 
+// Lookahead is the PDES lookahead contract: no message between two
+// distinct tiles can arrive sooner than this many core cycles after it
+// was sent. Any cross-tile route costs at least RouterLat plus one
+// link traversal (hops >= 1, flits >= 1, serialization and FIFO floors
+// only add delay), so partitions may run RouterLat+HopLatency cycles
+// apart without missing an incoming message.
+func (m *Mesh) Lookahead() engine.Cycle {
+	return m.cfg.RouterLat + m.cfg.HopLatency
+}
+
 // Send delivers a message of the given byte size from src to dst on
 // virtual network vnet, invoking deliver when it arrives. Deliveries
 // on the same (src, dst, vnet) channel never reorder. Flit-hop and
 // message counters accrue immediately.
 func (m *Mesh) Send(src, dst, vnet, bytes int, deliver func()) {
-	at := m.arrival(src, dst, vnet, bytes)
+	at := m.Arrival(m.eng.Now(), src, dst, vnet, bytes, m.st)
 	m.eng.ScheduleAt(at, deliver)
 }
 
 // SendRunner is Send for a pre-bound engine.Runner: the allocation-free
 // path the coherence layer uses (the message itself is the runner).
 func (m *Mesh) SendRunner(src, dst, vnet, bytes int, deliver engine.Runner) {
-	at := m.arrival(src, dst, vnet, bytes)
+	at := m.Arrival(m.eng.Now(), src, dst, vnet, bytes, m.st)
 	m.eng.ScheduleRunnerAt(at, deliver)
 }
 
-// arrival accounts the message and computes its delivery cycle,
-// including FIFO back-pressure on the (src, dst, vnet) channel.
-func (m *Mesh) arrival(src, dst, vnet, bytes int) engine.Cycle {
+// Arrival accounts the message into st and computes its delivery cycle
+// for a send at cycle now, including FIFO back-pressure on the (src,
+// dst, vnet) channel. Exposed so the PDES executor can compute
+// arrivals with a partition's local clock and stats shard: the FIFO
+// state it touches is indexed by source node, so concurrent calls from
+// different source partitions never share a slot. The contention model
+// is the exception — it reserves globally shared links — and is
+// rejected at system construction when partitions run concurrently.
+func (m *Mesh) Arrival(now engine.Cycle, src, dst, vnet, bytes int, st *stats.Stats) engine.Cycle {
 	if src < 0 || src >= m.nodes || dst < 0 || dst >= m.nodes {
 		panic(fmt.Sprintf("noc: node out of range: src=%d dst=%d nodes=%d", src, dst, m.nodes))
 	}
@@ -254,15 +270,15 @@ func (m *Mesh) arrival(src, dst, vnet, bytes int) engine.Cycle {
 	}
 	flits := m.Flits(bytes)
 	hops := m.Hops(src, dst)
-	m.st.Messages++
-	m.st.Flits += uint64(flits)
-	m.st.FlitHops += uint64(flits * hops)
+	st.Messages++
+	st.Flits += uint64(flits)
+	st.FlitHops += uint64(flits * hops)
 
 	var at engine.Cycle
 	if m.cfg.ModelContention && src != dst {
-		at = m.reserve(src, dst, flits)
+		at = m.reserve(now, src, dst, flits, st)
 	} else {
-		at = m.eng.Now() + m.Latency(src, dst, bytes)
+		at = now + m.Latency(src, dst, bytes)
 	}
 	// last holds (previous delivery cycle + 1), so the zero value means
 	// "channel never used" and preserves FIFO order otherwise.
@@ -279,12 +295,12 @@ func (m *Mesh) arrival(src, dst, vnet, bytes int) engine.Cycle {
 // occupies it for one serialization slot per flit. The returned cycle
 // is the tail's arrival at the destination; queueing beyond the
 // uncontended latency accrues to the LinkStallCycles counter.
-func (m *Mesh) reserve(src, dst int, flits int) engine.Cycle {
+func (m *Mesh) reserve(now engine.Cycle, src, dst int, flits int, st *stats.Stats) engine.Cycle {
 	occupancy := engine.Cycle(flits) * m.cfg.SerialLat
 	if occupancy == 0 {
 		occupancy = 1
 	}
-	head := m.eng.Now() + m.cfg.RouterLat
+	head := now + m.cfg.RouterLat
 	prev := src
 	for _, next := range m.Path(src, dst) {
 		l := prev*m.nodes + next
@@ -297,12 +313,12 @@ func (m *Mesh) reserve(src, dst int, flits int) engine.Cycle {
 		prev = next
 	}
 	arrival := head + engine.Cycle(flits-1)*m.cfg.SerialLat
-	base := m.eng.Now() + m.Latency(src, dst, flits*m.cfg.FlitBytes)
+	base := now + m.Latency(src, dst, flits*m.cfg.FlitBytes)
 	if arrival > base {
-		m.st.LinkStallCycles += uint64(arrival - base)
+		st.LinkStallCycles += uint64(arrival - base)
 		if m.rec != nil {
 			m.rec.Record(obs.Event{
-				Cycle: m.eng.Now(),
+				Cycle: now,
 				Kind:  obs.KindLinkStall,
 				Node:  int16(src),
 				Peer:  int16(dst),

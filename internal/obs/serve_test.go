@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -79,6 +80,75 @@ func TestLiveServerServesPublishedSnapshot(t *testing.T) {
 				t.Fatalf("bad metric name %q", parts[0])
 			}
 		}
+	}
+}
+
+// TestLiveServerConcurrentPublishAndScrape hammers Publish from the
+// simulation side while scrapers pull /metrics, under -race in CI: the
+// snapshot swap must be safe against concurrent readers, and every
+// scrape must observe a coherent (cycle, values) pair — never a torn
+// mix of two publishes.
+func TestLiveServerConcurrentPublishAndScrape(t *testing.T) {
+	s, err := NewLiveServer("127.0.0.1:0", []MetricDesc{
+		{Name: "a", Help: "cycle echo"},
+		{Name: "b", Help: "cycle echo times two"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	const publishes = 400
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= publishes; i++ {
+			c := float64(i)
+			s.Publish(uint64(i), []float64{c, 2 * c})
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				body := getBody(t, base+"/metrics")
+				var cycle, a, b float64
+				for _, line := range strings.Split(body, "\n") {
+					var f *float64
+					switch {
+					case strings.HasPrefix(line, "protozoa_sim_cycle "):
+						f = &cycle
+					case strings.HasPrefix(line, "protozoa_a "):
+						f = &a
+					case strings.HasPrefix(line, "protozoa_b "):
+						f = &b
+					default:
+						continue
+					}
+					v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+					if err != nil {
+						t.Errorf("unparseable line %q: %v", line, err)
+						return
+					}
+					*f = v
+				}
+				if a != cycle || b != 2*cycle {
+					t.Errorf("torn scrape: cycle=%v a=%v b=%v", cycle, a, b)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+
+	body := getBody(t, base+"/metrics")
+	if !strings.Contains(body, "protozoa_snapshots_total 400\n") {
+		t.Errorf("lost publishes:\n%s", body)
 	}
 }
 

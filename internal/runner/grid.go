@@ -22,6 +22,12 @@ type Grid struct {
 	Cores     int             // 0 = 16
 	Scale     int             // 0 = 1
 	TraceSeed uint64          // 0 = canonical traces
+
+	// Workers, when > 0, runs each cell's machine with the parallel
+	// window loop on that many goroutines (core.Config.Workers);
+	// composes with Pool.Jobs, which bounds how many cells run at once.
+	// Cell results are byte-identical for every Workers >= 1.
+	Workers int
 }
 
 // Cells validates the grid and expands it into runnable cells. Every
@@ -54,11 +60,19 @@ func (g Grid) Cells() ([]Cell, error) {
 	}
 
 	var cells []Cell
+	seen := make(map[string]bool)
 	for _, w := range g.Workloads {
 		spec, err := workloads.Get(strings.TrimSpace(w))
 		if err != nil {
 			return nil, err
 		}
+		// A workload repeated on the command line (or two aliases of the
+		// same spec) would duplicate every row it expands into; keep the
+		// first appearance only.
+		if seen[spec.Name] {
+			continue
+		}
+		seen[spec.Name] = true
 		for _, p := range g.Protocols {
 			for _, knob := range g.Knobs {
 				set := Knobs[knob]
@@ -72,6 +86,7 @@ func (g Grid) Cells() ([]Cell, error) {
 						Build: func() (*core.System, error) {
 							cfg := core.DefaultConfig(p)
 							cfg.RegionBytes = rb
+							cfg.Workers = g.Workers
 							if err := ConfigureCores(&cfg, g.Cores); err != nil {
 								return nil, err
 							}
@@ -132,8 +147,13 @@ func WriteCSV(w io.Writer, results []Result) error {
 		return err
 	}
 	for _, r := range results {
-		if r.Err != nil || r.Stats == nil {
+		if r.Err != nil {
 			continue
+		}
+		if r.Stats == nil {
+			// A cell with neither a result nor an error never ran; a
+			// silently shorter CSV would misreport the sweep as complete.
+			return fmt.Errorf("runner: cell %q has no stats and no error (never ran?)", r.Cell.Label)
 		}
 		if err := cw.Write(CSVRow(r)); err != nil {
 			return err

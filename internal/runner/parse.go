@@ -45,15 +45,20 @@ func ParseProtocols(s string) ([]core.Protocol, error) {
 }
 
 // ParseRegions parses a comma-separated list of RMAX region sizes in
-// bytes.
+// bytes, deduplicating while preserving first-appearance order — a
+// repeated size would otherwise duplicate every row of its sweep slice.
 func ParseRegions(s string) ([]int, error) {
 	var out []int
+	seen := make(map[int]bool)
 	for _, tok := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil || v <= 0 {
 			return nil, fmt.Errorf("bad region size %q", tok)
 		}
-		out = append(out, v)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
 	}
 	return out, nil
 }

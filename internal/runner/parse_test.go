@@ -40,6 +40,12 @@ func TestParseRegions(t *testing.T) {
 	if err != nil || !reflect.DeepEqual(got, []int{32, 64, 128}) {
 		t.Errorf("ParseRegions = %v, %v", got, err)
 	}
+	// A repeated size used to survive parsing and duplicate every row of
+	// its sweep slice; first-appearance order must win.
+	got, err = ParseRegions("64,32,64,32,64")
+	if err != nil || !reflect.DeepEqual(got, []int{64, 32}) {
+		t.Errorf("ParseRegions with duplicates = %v, %v, want [64 32]", got, err)
+	}
 	for _, bad := range []string{"x", "", "64,-8", "64,0"} {
 		if _, err := ParseRegions(bad); err == nil {
 			t.Errorf("ParseRegions(%q) accepted", bad)

@@ -94,7 +94,9 @@ func (p Pool) Run(cells []Cell) ([]Result, Summary) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	if jobs > len(cells) {
+	// Don't report a zero-width pool for an empty grid; the clamp only
+	// applies when there are cells to spread over the workers.
+	if len(cells) > 0 && jobs > len(cells) {
 		jobs = len(cells)
 	}
 
@@ -138,10 +140,13 @@ func (p Pool) Run(cells []Cell) ([]Result, Summary) {
 
 	sum := Summary{Cells: len(cells), Jobs: jobs, Wall: time.Since(start)}
 	for _, r := range results {
-		sum.Events += r.Events
 		if r.Err != nil {
 			sum.Failed++
 		} else {
+			// Failed cells stop at an arbitrary point (build error, or a
+			// watchdog/deadlock mid-run), so their event counts would
+			// make the summary's totals non-reproducible noise.
+			sum.Events += r.Events
 			sum.SimCycles += r.Stats.ExecCycles
 		}
 	}
@@ -169,7 +174,7 @@ func runCell(i int, c Cell) Result {
 		r.Stats = sys.Stats()
 		r.Attrib = sys.Attribution()
 	}
-	r.Events = sys.Engine().Processed()
+	r.Events = sys.EventsProcessed()
 	r.Wall = time.Since(start)
 	return r
 }

@@ -104,6 +104,14 @@ func TestFailedCellKeepsOtherResults(t *testing.T) {
 			t.Errorf("cell %d lost to a neighbour's failure: err=%v", i, results[i].Err)
 		}
 	}
+	// The failed cell stopped at an arbitrary point, so its events must
+	// not pollute the summary total (which feeds reproducible reports).
+	if results[1].Events == 0 {
+		t.Errorf("watchdog-tripped cell recorded no events; the injection is broken")
+	}
+	if want := results[0].Events + results[2].Events; sum.Events != want {
+		t.Errorf("summary.Events = %d, want %d (successful cells only)", sum.Events, want)
+	}
 
 	var buf bytes.Buffer
 	if err := WriteCSV(&buf, results); err != nil {
@@ -137,6 +145,42 @@ func TestPoolEmptyGrid(t *testing.T) {
 	results, sum := Pool{}.Run(nil)
 	if len(results) != 0 || sum.Cells != 0 || sum.Failed != 0 {
 		t.Fatalf("empty grid: results=%v summary=%+v", results, sum)
+	}
+	// The pool's width is GOMAXPROCS here; the old clamp reported it as
+	// zero on an empty grid.
+	if sum.Jobs <= 0 {
+		t.Errorf("empty grid reports Jobs = %d, want the pool width", sum.Jobs)
+	}
+}
+
+// TestGridDeduplicatesWorkloads: a workload repeated on the command
+// line used to duplicate every row it expands into.
+func TestGridDeduplicatesWorkloads(t *testing.T) {
+	g := testGrid()
+	g.Workloads = []string{"histogram", " histogram", "swaptions", "histogram"}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 24 { // 2 distinct workloads x 4 protocols x 3 regions
+		t.Fatalf("grid with duplicate workloads expanded to %d cells, want 24", len(cells))
+	}
+	if cells[0].Workload != "histogram" || cells[12].Workload != "swaptions" {
+		t.Errorf("first-appearance order lost: %q then %q", cells[0].Workload, cells[12].Workload)
+	}
+}
+
+// TestWriteCSVRejectsUnranCell: a result slot with neither stats nor an
+// error (a cell that never ran) used to vanish from the CSV silently,
+// misreporting the sweep as complete.
+func TestWriteCSVRejectsUnranCell(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []Result{{Cell: Cell{Label: "ghost"}}})
+	if err == nil {
+		t.Fatal("WriteCSV accepted a cell with no stats and no error")
+	}
+	if !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("error %q does not name the cell", err)
 	}
 }
 

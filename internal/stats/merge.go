@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Merge folds another run shard into s — the PDES per-tile stats merge.
+// Every counter is additive except MissLatencyMax and ExecCycles, which
+// take the maximum. The walk is reflective so a newly added Stats field
+// cannot be dropped silently: a field kind the merge does not know how
+// to combine panics (and the package test exercises every field).
+func (s *Stats) Merge(o *Stats) {
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	t := sv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		dst, src := sv.Field(i), ov.Field(i)
+		switch {
+		case f.Name == "MissLatencyMax" || f.Name == "ExecCycles":
+			if src.Uint() > dst.Uint() {
+				dst.SetUint(src.Uint())
+			}
+		case f.Type.Kind() == reflect.Uint64:
+			dst.SetUint(dst.Uint() + src.Uint())
+		case f.Type.Kind() == reflect.Array && f.Type.Elem().Kind() == reflect.Uint64:
+			for j := 0; j < f.Type.Len(); j++ {
+				d := dst.Index(j)
+				d.SetUint(d.Uint() + src.Index(j).Uint())
+			}
+		case f.Name == "PerCore":
+			if src.Len() != dst.Len() {
+				panic(fmt.Sprintf("stats: merging PerCore slices of length %d and %d",
+					dst.Len(), src.Len()))
+			}
+			for j := 0; j < dst.Len(); j++ {
+				dc, sc := dst.Index(j), src.Index(j)
+				for k := 0; k < dc.NumField(); k++ {
+					d := dc.Field(k)
+					d.SetUint(d.Uint() + sc.Field(k).Uint())
+				}
+			}
+		default:
+			panic(fmt.Sprintf("stats: Merge cannot combine field %s (%s)", f.Name, f.Type))
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillDistinct sets every mergeable field of a Stats to a distinct
+// nonzero value derived from its field index, so a dropped or
+// double-counted field shows up as a wrong sum.
+func fillDistinct(s *Stats, base uint64) {
+	v := reflect.ValueOf(s).Elem()
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(base + uint64(i))
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetUint(base + uint64(i*100+j))
+			}
+		case reflect.Slice: // PerCore
+			for j := 0; j < f.Len(); j++ {
+				cs := f.Index(j)
+				for k := 0; k < cs.NumField(); k++ {
+					cs.Field(k).SetUint(base + uint64(i*100+j*10+k))
+				}
+			}
+		}
+	}
+}
+
+// TestMergeCoversEveryField merges two fully populated Stats and walks
+// the result reflectively: every additive field must be the exact sum,
+// and the two max-semantics fields the maximum. Because Merge panics on
+// a field kind it does not recognize, this test also fails the build of
+// any future Stats field that silently falls outside the merge.
+func TestMergeCoversEveryField(t *testing.T) {
+	a := &Stats{PerCore: make([]CoreStats, 2)}
+	b := &Stats{PerCore: make([]CoreStats, 2)}
+	fillDistinct(a, 1000)
+	fillDistinct(b, 5000)
+	// Pre-merge copy for expectations; the slice must be deep-copied or
+	// it would alias the merged-in-place PerCore backing array.
+	pre := *a
+	pre.PerCore = append([]CoreStats(nil), a.PerCore...)
+	av := reflect.ValueOf(pre)
+	a.Merge(b)
+
+	rv := reflect.ValueOf(a).Elem()
+	bv := reflect.ValueOf(b).Elem()
+	ty := rv.Type()
+	for i := 0; i < ty.NumField(); i++ {
+		name := ty.Field(i).Name
+		got, was, other := rv.Field(i), av.Field(i), bv.Field(i)
+		switch {
+		case name == "MissLatencyMax" || name == "ExecCycles":
+			want := was.Uint()
+			if other.Uint() > want {
+				want = other.Uint()
+			}
+			if got.Uint() != want {
+				t.Errorf("%s = %d, want max %d", name, got.Uint(), want)
+			}
+		case got.Kind() == reflect.Uint64:
+			if got.Uint() != was.Uint()+other.Uint() {
+				t.Errorf("%s = %d, want %d", name, got.Uint(), was.Uint()+other.Uint())
+			}
+		case got.Kind() == reflect.Array:
+			for j := 0; j < got.Len(); j++ {
+				if got.Index(j).Uint() != was.Index(j).Uint()+other.Index(j).Uint() {
+					t.Errorf("%s[%d] = %d, want %d", name, j,
+						got.Index(j).Uint(), was.Index(j).Uint()+other.Index(j).Uint())
+				}
+			}
+		case got.Kind() == reflect.Slice:
+			for j := 0; j < got.Len(); j++ {
+				gc, wc, oc := got.Index(j), was.Index(j), other.Index(j)
+				for k := 0; k < gc.NumField(); k++ {
+					if gc.Field(k).Uint() != wc.Field(k).Uint()+oc.Field(k).Uint() {
+						t.Errorf("%s[%d].%s = %d, want %d", name, j, gc.Type().Field(k).Name,
+							gc.Field(k).Uint(), wc.Field(k).Uint()+oc.Field(k).Uint())
+					}
+				}
+			}
+		default:
+			t.Errorf("field %s has kind %s the coverage walk does not model", name, got.Kind())
+		}
+	}
+}
+
+func TestMergePerCoreLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched PerCore lengths did not panic")
+		}
+	}()
+	a := &Stats{PerCore: make([]CoreStats, 2)}
+	b := &Stats{PerCore: make([]CoreStats, 3)}
+	a.Merge(b)
+}
