@@ -11,12 +11,13 @@ verify:
 	go build ./...
 	go vet ./...
 	go test ./...
-	go test -race ./internal/runner ./internal/engine
+	go test -race ./internal/runner ./internal/engine ./internal/resultcache
 	go test -race ./internal/core ./internal/cache
 	go test -race ./internal/obs
 	go test -run '^$$' -bench SimulatorThroughput -benchtime 1x .
 	$(MAKE) obs-smoke
 	$(MAKE) pdes-smoke
+	$(MAKE) cache-smoke
 
 # pdes-smoke: one workload under the parallel window loop at 1 and 4
 # workers; the full JSON stats dump must be byte-identical (the
@@ -67,10 +68,58 @@ obs-smoke: trace-smoke
 		{ print "obs-smoke: bad metrics line: " $$0; exit 1 } }' /tmp/protozoa-smoke/metrics.prom
 	@echo "obs-smoke: live /metrics served valid Prometheus text mid-run"
 
+# cache-smoke: the persistent result cache end to end, in two acts.
+# Warm: a cold sweep populates a fresh -cache-dir, then the identical
+# grid re-runs against it — every cell must come back cached and the
+# CSV must be byte-identical. Resume: a second cold sweep into a fresh
+# directory is killed once its first entries land on disk, then re-run
+# — the interrupted grid must finish with at least one cell resumed
+# from the cache and the same byte-identical CSV.
+CACHE_SMOKE_GRID = -workloads linear-regression,barnes -protocols all -scale 8
+
+cache-smoke:
+	@mkdir -p /tmp/protozoa-smoke
+	@rm -rf /tmp/protozoa-smoke/cache /tmp/protozoa-smoke/cache-resume
+	go build -o /tmp/protozoa-smoke/protozoa-sweep ./cmd/protozoa-sweep
+	@/tmp/protozoa-smoke/protozoa-sweep $(CACHE_SMOKE_GRID) \
+		-cache-dir /tmp/protozoa-smoke/cache \
+		> /tmp/protozoa-smoke/cold.csv 2>/dev/null
+	@/tmp/protozoa-smoke/protozoa-sweep $(CACHE_SMOKE_GRID) \
+		-cache-dir /tmp/protozoa-smoke/cache -progress \
+		> /tmp/protozoa-smoke/warm.csv 2>/tmp/protozoa-smoke/warm.err
+	@cmp /tmp/protozoa-smoke/cold.csv /tmp/protozoa-smoke/warm.csv \
+		|| { echo "cache-smoke: warm CSV differs from cold"; exit 1; }
+	@grep -q '8 cells (0 failed, 8 cached)' /tmp/protozoa-smoke/warm.err \
+		|| { echo "cache-smoke: warm run re-simulated cells:"; \
+		     tail -1 /tmp/protozoa-smoke/warm.err; exit 1; }
+	@echo "cache-smoke: warm re-run 100% cached, CSV byte-identical"
+	@/tmp/protozoa-smoke/protozoa-sweep $(CACHE_SMOKE_GRID) \
+		-cache-dir /tmp/protozoa-smoke/cache-resume \
+		> /dev/null 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 200); do \
+		n=$$(find /tmp/protozoa-smoke/cache-resume -name '*.pzc' 2>/dev/null | wc -l); \
+		[ $$n -ge 2 ] && break; \
+		sleep 0.05; \
+	done; \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	n=$$(find /tmp/protozoa-smoke/cache-resume -name '*.pzc' | wc -l); \
+	[ $$n -ge 1 ] || { echo "cache-smoke: no entries persisted before the kill"; exit 1; }; \
+	[ $$n -le 7 ] || echo "cache-smoke: note: grid finished before the kill ($$n entries)"
+	@/tmp/protozoa-smoke/protozoa-sweep $(CACHE_SMOKE_GRID) \
+		-cache-dir /tmp/protozoa-smoke/cache-resume -progress \
+		> /tmp/protozoa-smoke/resume.csv 2>/tmp/protozoa-smoke/resume.err
+	@cmp /tmp/protozoa-smoke/cold.csv /tmp/protozoa-smoke/resume.csv \
+		|| { echo "cache-smoke: resumed CSV differs from cold"; exit 1; }
+	@grep -Eq '8 cells \(0 failed, [1-8] cached\)' /tmp/protozoa-smoke/resume.err \
+		|| { echo "cache-smoke: resume run reused nothing:"; \
+		     tail -1 /tmp/protozoa-smoke/resume.err; exit 1; }
+	@echo "cache-smoke: kill-mid-grid resume reused persisted cells, CSV byte-identical"
+
 # bench runs the simulator throughput benchmark with allocation
 # accounting in a benchstat-friendly shape (-count 5). Compare against
 # the committed BENCH_2.json numbers after hot-path changes.
 bench:
 	go test -run '^$$' -bench SimulatorThroughput -benchmem -benchtime 2s -count 5 .
 
-.PHONY: verify bench trace-smoke obs-smoke pdes-smoke
+.PHONY: verify bench trace-smoke obs-smoke pdes-smoke cache-smoke

@@ -29,6 +29,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent matrix cells (figures are identical at any setting)")
 	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
+	cacheOn := flag.Bool("cache", true, "memoize matrix cells in the in-process result cache")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory; warm re-runs resume from it")
 	flag.Parse()
 
 	if *fig != 0 && (*fig < 9 || *fig > 16) {
@@ -43,6 +45,12 @@ func main() {
 	if *subset != "" {
 		o.Workloads = strings.Split(*subset, ",")
 	}
+	cache, err := protozoa.OpenCache(*cacheOn, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protozoa-figs:", err)
+		os.Exit(1)
+	}
+	o.Cache = cache
 	m, err := protozoa.Collect(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "protozoa-figs:", err)

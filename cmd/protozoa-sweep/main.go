@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"protozoa/internal/obs"
+	"protozoa/internal/resultcache"
 	"protozoa/internal/runner"
 )
 
@@ -34,6 +35,8 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells (CSV order and content are identical at any setting)")
 	workers := flag.Int("workers", 0, "parallel window-loop goroutines per cell (0 = sequential engine; rows are byte-identical for any value >= 1)")
 	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
+	cacheOn := flag.Bool("cache", true, "memoize cells in the in-process result cache (identical cells simulate once)")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory; warm re-runs and interrupted sweeps resume from it")
 	serve := flag.String("serve", "", "serve live sweep-progress metrics at this address (e.g. 127.0.0.1:8080) for the grid's duration")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -75,8 +78,11 @@ func main() {
 	if *progress {
 		pool.Progress = os.Stderr
 	}
+	if pool.Cache, err = runner.OpenCache(*cacheOn, *cacheDir); err != nil {
+		fail(err)
+	}
 	if *serve != "" {
-		live, err := newSweepLive(*serve, len(cells))
+		live, err := newSweepLive(*serve, len(cells), pool.Cache)
 		if err != nil {
 			fail(err)
 		}
@@ -115,8 +121,9 @@ func main() {
 type sweepLive struct {
 	srv   *obs.LiveServer
 	total uint64
+	cache *resultcache.Cache // nil when the pool runs uncached
 
-	done, failed, events, simCycles            uint64
+	done, failed, cached, events, simCycles    uint64
 	fetched, used, wasted, invals, falseShared uint64
 }
 
@@ -124,8 +131,13 @@ var sweepLiveDescs = []obs.MetricDesc{
 	{Name: "sweep_cells_total", Help: "cells in the grid"},
 	{Name: "sweep_cells_done", Help: "cells completed (ok or failed)"},
 	{Name: "sweep_cells_failed", Help: "cells that returned an error"},
+	{Name: "sweep_cells_cached", Help: "cells answered from the result cache without simulating"},
 	{Name: "sweep_events_total", Help: "engine events across completed cells"},
 	{Name: "sweep_sim_cycles_total", Help: "simulated cycles across completed cells"},
+	{Name: "cache_hits", Help: "result-cache lookup hits (memory + disk tiers)"},
+	{Name: "cache_misses", Help: "result-cache lookup misses"},
+	{Name: "cache_bytes_read", Help: "payload bytes read from the result cache's disk tier"},
+	{Name: "cache_bytes_written", Help: "payload bytes written to the result cache's disk tier"},
 	{Name: "attrib_fetched_words", Help: "words fetched into L1s across completed cells"},
 	{Name: "attrib_used_words", Help: "fetched words used across completed cells"},
 	{Name: "attrib_wasted_bytes", Help: "bytes fetched but never used across completed cells"},
@@ -133,12 +145,12 @@ var sweepLiveDescs = []obs.MetricDesc{
 	{Name: "attrib_false_shared_regions", Help: "regions classified false-shared across completed cells"},
 }
 
-func newSweepLive(addr string, total int) (*sweepLive, error) {
+func newSweepLive(addr string, total int, cache *resultcache.Cache) (*sweepLive, error) {
 	srv, err := obs.NewLiveServer(addr, sweepLiveDescs)
 	if err != nil {
 		return nil, err
 	}
-	l := &sweepLive{srv: srv, total: uint64(total)}
+	l := &sweepLive{srv: srv, total: uint64(total), cache: cache}
 	l.publish()
 	return l, nil
 }
@@ -147,6 +159,9 @@ func (l *sweepLive) observe(r runner.Result) {
 	l.done++
 	if r.Err != nil {
 		l.failed++
+	}
+	if r.Cached {
+		l.cached++
 	}
 	l.events += r.Events
 	if r.Stats != nil {
@@ -163,9 +178,15 @@ func (l *sweepLive) observe(r runner.Result) {
 }
 
 func (l *sweepLive) publish() {
+	var cc resultcache.Counters
+	if l.cache != nil {
+		cc = l.cache.Counters()
+	}
 	l.srv.Publish(l.simCycles, []float64{
-		float64(l.total), float64(l.done), float64(l.failed),
+		float64(l.total), float64(l.done), float64(l.failed), float64(l.cached),
 		float64(l.events), float64(l.simCycles),
+		float64(cc.Hits()), float64(cc.Misses),
+		float64(cc.BytesRead), float64(cc.BytesWritten),
 		float64(l.fetched), float64(l.used), float64(l.wasted),
 		float64(l.invals), float64(l.falseShared),
 	})

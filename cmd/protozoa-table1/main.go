@@ -24,6 +24,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "trace-randomization seed (0 = canonical)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells (the table is identical at any setting)")
 	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
+	cacheOn := flag.Bool("cache", true, "memoize sweep cells in the in-process result cache")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory; warm re-runs resume from it")
 	flag.Parse()
 
 	o := protozoa.Options{Cores: *cores, Scale: *scale, TraceSeed: *seed, Jobs: *jobs}
@@ -33,6 +35,12 @@ func main() {
 	if *subset != "" {
 		o.Workloads = strings.Split(*subset, ",")
 	}
+	cache, err := protozoa.OpenCache(*cacheOn, *cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "protozoa-table1:", err)
+		os.Exit(1)
+	}
+	o.Cache = cache
 	res, err := protozoa.CollectTable1(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "protozoa-table1:", err)

@@ -13,13 +13,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 
 	"protozoa/internal/core"
 	"protozoa/internal/mem"
+	"protozoa/internal/resultcache"
 	"protozoa/internal/runner"
 	"protozoa/internal/trace"
 )
@@ -36,6 +39,8 @@ func main() {
 	l2cap := flag.Int("l2cap", 0, "L2 regions per tile (0 = unbounded)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent protocol runs")
 	progress := flag.Bool("progress", false, "stream per-protocol wall-time/event-count lines and a summary to stderr")
+	cacheOn := flag.Bool("cache", true, "memoize runs in the in-process result cache")
+	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (repeat verifications replay the stored checker outcome)")
 	flag.Parse()
 
 	ps, err := runner.ParseProtocols(*proto)
@@ -48,17 +53,41 @@ func main() {
 	cells := make([]runner.Cell, len(ps))
 	chks := make([]*core.Checker, len(ps))
 	for i, p := range ps {
+		resolve := func() (core.Config, error) {
+			cfg := core.DefaultConfig(p)
+			cfg.ThreeHop = *threeHop
+			cfg.L2RegionsPerTile = *l2cap
+			if *bloom {
+				cfg.Directory = core.DirBloom
+			}
+			err := runner.ConfigureCores(&cfg, *cores)
+			return cfg, err
+		}
+		var key resultcache.Key
+		if cfg, err := resolve(); err == nil {
+			// The random streams are fully determined by the seed and
+			// the stream-shape parameters, so they cache-key cleanly; a
+			// config that fails to resolve stays uncacheable and lets
+			// Build surface the error under the cell's label.
+			key = runner.CellSpec{
+				Config: cfg,
+				Seed:   *seed,
+				Extra: [][2]string{
+					{"stream", "verify-random"},
+					{"per-core", strconv.Itoa(perCore)},
+					{"regions", strconv.Itoa(*regions)},
+					{"stores", strconv.Itoa(*storePct)},
+				},
+				Extract: "checker-summary-v1",
+			}.Key()
+		}
 		cells[i] = runner.Cell{
 			Label:    p.String(),
 			Protocol: p,
+			Key:      key,
 			Build: func() (*core.System, error) {
-				cfg := core.DefaultConfig(p)
-				cfg.ThreeHop = *threeHop
-				cfg.L2RegionsPerTile = *l2cap
-				if *bloom {
-					cfg.Directory = core.DirBloom
-				}
-				if err := runner.ConfigureCores(&cfg, *cores); err != nil {
+				cfg, err := resolve()
+				if err != nil {
 					return nil, err
 				}
 				streams := make([]trace.Stream, *cores)
@@ -78,12 +107,17 @@ func main() {
 				return core.NewSystem(cfg, streams)
 			},
 			Observe: func(sys *core.System) { chks[i] = core.NewChecker(sys) },
+			Extract: func(*core.System) ([]byte, error) { return json.Marshal(chks[i].Summary()) },
 		}
 	}
 
 	pool := runner.Pool{Jobs: *jobs}
 	if *progress {
 		pool.Progress = os.Stderr
+	}
+	if pool.Cache, err = runner.OpenCache(*cacheOn, *cacheDir); err != nil {
+		fmt.Fprintln(os.Stderr, "protozoa-verify:", err)
+		os.Exit(1)
 	}
 	results, _ := pool.Run(cells)
 
@@ -94,15 +128,22 @@ func main() {
 			failed = true
 			continue
 		}
-		chk := chks[i]
+		// The checker outcome travels in Result.Extra so a cached run
+		// reports exactly what the original simulation did.
+		var sum core.CheckerSummary
+		if err := json.Unmarshal(r.Extra, &sum); err != nil {
+			fmt.Fprintf(os.Stderr, "protozoa-verify: %s: bad checker summary: %v\n", ps[i], err)
+			failed = true
+			continue
+		}
 		status := "OK"
-		if chk.Err() != nil {
+		if len(sum.Violations) > 0 {
 			status = "FAIL"
 			failed = true
 		}
 		fmt.Printf("%-15s %8d accesses  %8d loads checked  %8d quiescent scans  %s\n",
-			ps[i], r.Stats.Accesses, chk.Loads, chk.Checks, status)
-		for _, v := range chk.Violations() {
+			ps[i], r.Stats.Accesses, sum.Loads, sum.Checks, status)
+		for _, v := range sum.Violations {
 			fmt.Printf("  violation: %s\n", v)
 		}
 	}

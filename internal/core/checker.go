@@ -48,6 +48,24 @@ func NewChecker(sys *System) *Checker {
 // Violations returns the recorded diagnostics.
 func (c *Checker) Violations() []string { return c.violations }
 
+// CheckerSummary is the serializable outcome of a checked run — what
+// protozoa-verify reports per cell, in a form the result cache can
+// store and replay byte-identically.
+type CheckerSummary struct {
+	Loads      int
+	Checks     int
+	Violations []string `json:",omitempty"`
+}
+
+// Summary snapshots the checker's outcome.
+func (c *Checker) Summary() CheckerSummary {
+	return CheckerSummary{
+		Loads:      c.Loads,
+		Checks:     c.Checks,
+		Violations: append([]string(nil), c.violations...),
+	}
+}
+
 // Err summarizes the violations as an error, or nil if none occurred.
 func (c *Checker) Err() error {
 	if len(c.violations) == 0 {

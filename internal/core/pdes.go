@@ -159,6 +159,13 @@ func (s *System) runPDES() error {
 	s.flushResidual()
 	s.mergePDES()
 	s.st.ExecCycles = uint64(last)
+	// Clean finish: every tile queue is drained (the window loop broke
+	// on "no queued event anywhere"), so hand the bucket rings back to
+	// the engine's storage pool for the next run. Error paths skip this
+	// because diagnose() wants to inspect the queues.
+	for _, t := range s.tiles {
+		t.eng.Recycle()
+	}
 	return nil
 }
 

@@ -505,6 +505,11 @@ func (s *System) Run() error {
 	}
 	s.st.ExecCycles = uint64(s.lastRetire)
 	s.flushResidual()
+	// Clean drain: return the bucket ring to the engine's storage pool
+	// so the next cell in this process reuses it instead of paying the
+	// fixed ring allocation again. Error paths keep the queue intact
+	// for diagnose().
+	s.eng.Recycle()
 	return nil
 }
 

@@ -229,6 +229,20 @@ func (e *Engine) RunUntil(limit Cycle) {
 	}
 }
 
+// Recycle returns the bucketed queue's ring storage to a process-wide
+// pool once the engine has fully drained. The engine remains readable
+// (Now, Processed, Pending, HighWater, PeekCycle all stay valid) but
+// must not schedule further events. Recycle is a no-op on heap-backed
+// engines, on engines with events still queued, and on engines already
+// recycled — callers on error paths can skip it and lose nothing but
+// the reuse.
+func (e *Engine) Recycle() {
+	if e.useHeap || e.bq.size != 0 {
+		return
+	}
+	e.bq.release()
+}
+
 // Run drains the queue. It stops after maxEvents events when
 // maxEvents > 0 (a watchdog against protocol livelock) and reports
 // whether the queue drained completely.

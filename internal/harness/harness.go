@@ -15,6 +15,7 @@ import (
 	"protozoa/internal/core"
 	"protozoa/internal/obs"
 	"protozoa/internal/obs/attrib"
+	"protozoa/internal/resultcache"
 	"protozoa/internal/runner"
 	"protozoa/internal/stats"
 	"protozoa/internal/workloads"
@@ -40,9 +41,17 @@ type Options struct {
 	// Progress, when non-nil, receives per-cell completion lines and
 	// an aggregate summary from the runner.
 	Progress io.Writer
+
+	// Cache, when non-nil, memoizes matrix cells in the
+	// content-addressed result cache: repeated cells are answered from
+	// it without simulating, with byte-identical output (see
+	// runner.Pool.Cache and runner.OpenCache).
+	Cache *resultcache.Cache
 }
 
-func (o Options) pool() runner.Pool { return runner.Pool{Jobs: o.Jobs, Progress: o.Progress} }
+func (o Options) pool() runner.Pool {
+	return runner.Pool{Jobs: o.Jobs, Progress: o.Progress, Cache: o.Cache}
+}
 
 // DefaultOptions is the paper's 16-core configuration at a scale that
 // finishes the full matrix in tens of seconds.
@@ -57,25 +66,61 @@ func (o Options) workloadList() []string {
 	return workloads.Names()
 }
 
-// buildSystem assembles the machine for one matrix cell.
-func buildSystem(workload string, p core.Protocol, o Options) (*core.System, error) {
-	spec, err := workloads.Get(workload)
-	if err != nil {
-		return nil, err
-	}
+func (o Options) cores() int {
 	if o.Cores == 0 {
-		o.Cores = 16
+		return 16
 	}
+	return o.Cores
+}
+
+// cellConfig resolves the machine configuration for one matrix cell —
+// the value both the builder and the cache key derive from.
+func cellConfig(p core.Protocol, o Options) (core.Config, error) {
 	cfg := core.DefaultConfig(p)
 	cfg.Workers = o.Workers
 	cfg.MaxEvents = o.MaxEvents
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 200_000_000
 	}
-	if err := runner.ConfigureCores(&cfg, o.Cores); err != nil {
-		return nil, fmt.Errorf("harness: %w", err)
+	if err := runner.ConfigureCores(&cfg, o.cores()); err != nil {
+		return core.Config{}, fmt.Errorf("harness: %w", err)
 	}
-	return core.NewSystem(cfg, spec.StreamsSeeded(o.Cores, o.Scale, o.TraceSeed))
+	return cfg, nil
+}
+
+// cellKey derives a matrix cell's cache key; unknown workloads or
+// unresolvable configs yield the zero (uncacheable) key, leaving the
+// error to surface from Build with the cell's own label.
+func cellKey(workload string, p core.Protocol, o Options, needAttrib, needLatency bool) resultcache.Key {
+	spec, err := workloads.Get(workload)
+	if err != nil {
+		return resultcache.Key{}
+	}
+	cfg, err := cellConfig(p, o)
+	if err != nil {
+		return resultcache.Key{}
+	}
+	return runner.CellSpec{
+		Config:      cfg,
+		Workload:    spec.Name,
+		Scale:       o.Scale,
+		Seed:        o.TraceSeed,
+		NeedAttrib:  needAttrib,
+		NeedLatency: needLatency,
+	}.Key()
+}
+
+// buildSystem assembles the machine for one matrix cell.
+func buildSystem(workload string, p core.Protocol, o Options) (*core.System, error) {
+	spec, err := workloads.Get(workload)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := cellConfig(p, o)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSystem(cfg, spec.StreamsSeeded(o.cores(), o.Scale, o.TraceSeed))
 }
 
 // Run simulates one workload under one protocol and returns its stats.
@@ -124,19 +169,13 @@ func Collect(o Options) (*Matrix, error) {
 				Label:    w + "/" + p.String(),
 				Workload: w,
 				Protocol: p,
-				Build:    func() (*core.System, error) { return buildSystem(w, p, o) },
+				Key:      cellKey(w, p, o, true, true),
+				// The figures need attribution and the phase breakdown;
+				// the pool delivers both, live or from the cache.
+				NeedAttrib:  true,
+				NeedLatency: true,
+				Build:       func() (*core.System, error) { return buildSystem(w, p, o) },
 			})
-		}
-	}
-	// Each worker writes only its own cell's slot; the pool's WaitGroup
-	// publishes the writes before we read them below.
-	lats := make([]*obs.LatencyBreakdown, len(cells))
-	attribs := make([]*attrib.Tracker, len(cells))
-	for i := range cells {
-		i := i
-		cells[i].Observe = func(sys *core.System) {
-			lats[i] = sys.EnableLatencyBreakdown()
-			attribs[i] = sys.EnableAttribution()
 		}
 	}
 	results, _ := o.pool().Run(cells)
@@ -148,15 +187,13 @@ func Collect(o Options) (*Matrix, error) {
 		m.Attribs[w] = make(map[core.Protocol]*attrib.Tracker)
 		for _, p := range m.Protocols {
 			r := results[i]
-			if r.Err == nil {
-				m.Breakdowns[w][p] = lats[i]
-				m.Attribs[w][p] = attribs[i]
-			}
 			i++
 			if r.Err != nil {
 				errs = append(errs, r.Err)
 				continue
 			}
+			m.Breakdowns[w][p] = r.Latency
+			m.Attribs[w][p] = r.Attrib
 			m.Cells[w][p] = r.Stats
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"protozoa/internal/core"
+	"protozoa/internal/resultcache"
 	"protozoa/internal/runner"
 	"protozoa/internal/workloads"
 )
@@ -42,6 +43,7 @@ func CollectTable1(o Options) (*Table1Result, error) {
 				Workload: w,
 				Protocol: core.MESI,
 				Region:   bs,
+				Key:      table1Key(w, bs, o),
 				Build:    func() (*core.System, error) { return buildMESIWithBlock(w, bs, o) },
 			})
 		}
@@ -68,24 +70,45 @@ func CollectTable1(o Options) (*Table1Result, error) {
 	return res, nil
 }
 
+// table1Config is cellConfig with the Table 1 twist: the region size
+// is the fixed MESI block size under sweep.
+func table1Config(blockBytes int, o Options) (core.Config, error) {
+	cfg, err := cellConfig(core.MESI, o)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.RegionBytes = blockBytes
+	cfg.Workers = 0 // Table 1 cells always use the sequential engine
+	return cfg, nil
+}
+
+func table1Key(workload string, blockBytes int, o Options) resultcache.Key {
+	spec, err := workloads.Get(workload)
+	if err != nil {
+		return resultcache.Key{}
+	}
+	cfg, err := table1Config(blockBytes, o)
+	if err != nil {
+		return resultcache.Key{}
+	}
+	return runner.CellSpec{
+		Config:   cfg,
+		Workload: spec.Name,
+		Scale:    o.Scale,
+		Seed:     o.TraceSeed,
+	}.Key()
+}
+
 func buildMESIWithBlock(workload string, blockBytes int, o Options) (*core.System, error) {
 	spec, err := workloads.Get(workload)
 	if err != nil {
 		return nil, err
 	}
-	if o.Cores == 0 {
-		o.Cores = 16
+	cfg, err := table1Config(blockBytes, o)
+	if err != nil {
+		return nil, err
 	}
-	cfg := core.DefaultConfig(core.MESI)
-	cfg.RegionBytes = blockBytes
-	cfg.MaxEvents = o.MaxEvents
-	if cfg.MaxEvents == 0 {
-		cfg.MaxEvents = 200_000_000
-	}
-	if err := runner.ConfigureCores(&cfg, o.Cores); err != nil {
-		return nil, fmt.Errorf("harness: %w", err)
-	}
-	return core.NewSystem(cfg, spec.StreamsSeeded(o.Cores, o.Scale, o.TraceSeed))
+	return core.NewSystem(cfg, spec.StreamsSeeded(o.cores(), o.Scale, o.TraceSeed))
 }
 
 // trend classifies a metric change with the paper's Table 1 notation:

@@ -1,0 +1,25 @@
+package resultcache
+
+// GaugeRegistry is the registration surface of obs.Registry, restated
+// structurally so the cache stays dependency-free.
+type GaugeRegistry interface {
+	Register(name, help string, fn func() float64)
+}
+
+// RegisterMetrics mounts the cache's activity counters as gauges on an
+// obs metrics registry; every sample (and Prometheus scrape through an
+// obs.LiveServer) then reports the live hit/miss/byte totals.
+func (c *Cache) RegisterMetrics(reg GaugeRegistry) {
+	reg.Register("cache_hits", "result-cache lookup hits (memory + disk tiers)",
+		func() float64 { return float64(c.Counters().Hits()) })
+	reg.Register("cache_misses", "result-cache lookup misses",
+		func() float64 { return float64(c.misses.Load()) })
+	reg.Register("cache_puts", "result-cache entries written",
+		func() float64 { return float64(c.puts.Load()) })
+	reg.Register("cache_put_errors", "result-cache disk writes that failed",
+		func() float64 { return float64(c.putErrors.Load()) })
+	reg.Register("cache_bytes_read", "payload bytes read from the disk tier",
+		func() float64 { return float64(c.bytesRead.Load()) })
+	reg.Register("cache_bytes_written", "payload bytes written to the disk tier",
+		func() float64 { return float64(c.bytesWritten.Load()) })
+}

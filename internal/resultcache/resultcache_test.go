@@ -1,0 +1,415 @@
+package resultcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"protozoa/internal/obs"
+)
+
+func testKey(b byte) Key {
+	var k Key
+	k[0] = b
+	k[31] = ^b
+	return k
+}
+
+func TestMemoryTierRoundTrip(t *testing.T) {
+	c, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	payload := []byte("hello world")
+	if err := c.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	ctr := c.Counters()
+	if ctr.MemHits != 1 || ctr.Misses != 1 || ctr.Puts != 1 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+}
+
+func TestDiskTierRoundTripAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey(2)
+	payload := []byte("persisted payload")
+
+	c1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh instance (fresh process in real life) must hit on disk.
+	c2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("disk Get = %q, %v", got, ok)
+	}
+	if ctr := c2.Counters(); ctr.DiskHits != 1 || ctr.BytesRead != uint64(len(payload)) {
+		t.Fatalf("counters = %+v", ctr)
+	}
+	// Promoted into memory: second Get is a memory hit.
+	if _, ok := c2.Get(k); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if ctr := c2.Counters(); ctr.MemHits != 1 {
+		t.Fatalf("promotion missing: %+v", ctr)
+	}
+}
+
+// entryFile finds the single on-disk entry under dir.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(p) == ".pzc" {
+			found = p
+		}
+		return err
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no entry file under %s (err=%v)", dir, err)
+	}
+	return found
+}
+
+func TestCorruptEntryFallsBackToMiss(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(data []byte) []byte
+	}{
+		{"flipped-payload-byte", func(d []byte) []byte {
+			d[len(d)-1] ^= 0xff
+			return d
+		}},
+		{"truncated", func(d []byte) []byte { return d[:len(d)-3] }},
+		{"bad-magic", func(d []byte) []byte {
+			d[0] = 'X'
+			return d
+		}},
+		{"empty", func(d []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			k := testKey(3)
+			payload := []byte("payload that will be damaged")
+			c, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			f := entryFile(t, dir)
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(f, tc.corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// Fresh instance so the memory tier can't mask the damage.
+			c2, err := Open(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := c2.Get(k); ok {
+				t.Fatalf("corrupt entry served as hit: %q", got)
+			}
+			if ctr := c2.Counters(); ctr.Misses != 1 {
+				t.Fatalf("counters = %+v", ctr)
+			}
+			// Re-Put repairs the entry.
+			if err := c2.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			c3, _ := Open(dir, 0)
+			if got, ok := c3.Get(k); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("repaired Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := Open("", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay := func(b byte) []byte { return bytes.Repeat([]byte{b}, 40) }
+	c.Put(testKey(1), pay(1))
+	c.Put(testKey(2), pay(2))
+	c.Get(testKey(1)) // make key 1 most recently used
+	c.Put(testKey(3), pay(3))
+	if _, ok := c.Get(testKey(2)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(testKey(1)); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if _, ok := c.Get(testKey(3)); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(4)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	hits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, hit, err := c.Do(k, func() ([]byte, error) {
+				computes.Add(1)
+				<-release
+				return []byte("computed once"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], hits[i] = p, hit
+		}(i)
+	}
+	// Let goroutines pile up on the flight, then release the leader.
+	for computes.Load() == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	nonHits := 0
+	for i := range results {
+		if !bytes.Equal(results[i], []byte("computed once")) {
+			t.Fatalf("result[%d] = %q", i, results[i])
+		}
+		if !hits[i] {
+			nonHits++
+		}
+	}
+	if nonHits != 1 {
+		t.Fatalf("%d callers reported a fresh compute, want exactly 1 (the leader)", nonHits)
+	}
+}
+
+func TestDoComputeErrorNotCached(t *testing.T) {
+	c, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(5)
+	wantErr := fmt.Errorf("simulated failure")
+	if _, _, err := c.Do(k, func() ([]byte, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// The failed compute must not poison the key.
+	p, hit, err := c.Do(k, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || !bytes.Equal(p, []byte("ok")) {
+		t.Fatalf("retry = %q, hit=%v, err=%v", p, hit, err)
+	}
+}
+
+// TestConcurrentGetPutHammer drives many goroutines at the same keys
+// through both tiers simultaneously — the -race pass over this package
+// is the regression net for the shared-cache-dir corruption fix.
+func TestConcurrentGetPutHammer(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second instance sharing the directory models a concurrent grid
+	// process racing on the same entries.
+	c2, err := Open(dir, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4
+	payloads := make([][]byte, keys)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte(i + 1)}, 128+i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			inst := c
+			if g%2 == 1 {
+				inst = c2
+			}
+			for iter := 0; iter < 200; iter++ {
+				i := (g + iter) % keys
+				k := testKey(byte(i))
+				switch iter % 3 {
+				case 0:
+					if err := inst.Put(k, payloads[i]); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				case 1:
+					if p, ok := inst.Get(k); ok && !bytes.Equal(p, payloads[i]) {
+						t.Errorf("Get key %d returned wrong payload", i)
+						return
+					}
+				case 2:
+					p, _, err := inst.Do(k, func() ([]byte, error) { return payloads[i], nil })
+					if err != nil || !bytes.Equal(p, payloads[i]) {
+						t.Errorf("Do key %d: %q, %v", i, p, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// After the dust settles every key must read back intact from disk.
+	c3, _ := Open(dir, 0)
+	for i := 0; i < keys; i++ {
+		if p, ok := c3.Get(testKey(byte(i))); !ok || !bytes.Equal(p, payloads[i]) {
+			t.Fatalf("key %d corrupt or missing after hammer", i)
+		}
+	}
+}
+
+func TestBuilderCanonical(t *testing.T) {
+	b1 := NewBuilder()
+	b1.Field("a", "xy")
+	b1.Field("b", "z")
+	b2 := NewBuilder()
+	b2.Field("a", "x")
+	b2.Field("yb", "z")
+	if b1.Sum() == b2.Sum() {
+		t.Fatal("length prefixing failed: shifted field boundaries alias")
+	}
+	b3 := NewBuilder()
+	b3.Field("a", "xy")
+	b3.Field("b", "z")
+	if b1.Sum() != b3.Sum() {
+		t.Fatal("identical field sequences must hash identically")
+	}
+}
+
+func TestAddStruct(t *testing.T) {
+	type inner struct {
+		Lat int
+	}
+	type cfg struct {
+		Name    string
+		Cores   int
+		Ratio   float64
+		Flags   []bool
+		Nested  inner
+		hidden  int // unexported: ignored
+		PtrView *inner
+	}
+	_ = cfg{}.hidden
+	hash := func(c cfg) Key {
+		b := NewBuilder()
+		if err := AddStruct(b, "cfg", c); err != nil {
+			t.Fatal(err)
+		}
+		return b.Sum()
+	}
+	base := cfg{Name: "mesi", Cores: 16, Ratio: 0.5, Flags: []bool{true}, Nested: inner{3}}
+	if hash(base) != hash(base) {
+		t.Fatal("not deterministic")
+	}
+	vary := []cfg{
+		{Name: "mw", Cores: 16, Ratio: 0.5, Flags: []bool{true}, Nested: inner{3}},
+		{Name: "mesi", Cores: 4, Ratio: 0.5, Flags: []bool{true}, Nested: inner{3}},
+		{Name: "mesi", Cores: 16, Ratio: 0.25, Flags: []bool{true}, Nested: inner{3}},
+		{Name: "mesi", Cores: 16, Ratio: 0.5, Flags: []bool{false}, Nested: inner{3}},
+		{Name: "mesi", Cores: 16, Ratio: 0.5, Flags: nil, Nested: inner{3}},
+		{Name: "mesi", Cores: 16, Ratio: 0.5, Flags: []bool{true}, Nested: inner{4}},
+		{Name: "mesi", Cores: 16, Ratio: 0.5, Flags: []bool{true}, Nested: inner{3}, PtrView: &inner{0}},
+	}
+	seen := map[Key]int{hash(base): -1}
+	for i, v := range vary {
+		k := hash(v)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("variant %d collides with %d", i, prev)
+		}
+		seen[k] = i
+	}
+}
+
+func TestAddStructRejectsFuncFields(t *testing.T) {
+	type cfg struct {
+		Hook func()
+	}
+	b := NewBuilder()
+	if err := AddStruct(b, "cfg", cfg{Hook: func() {}}); err == nil {
+		t.Fatal("non-nil func field must be uncacheable")
+	}
+	b2 := NewBuilder()
+	if err := AddStruct(b2, "cfg", cfg{}); err != nil {
+		t.Fatalf("nil func field should hash fine: %v", err)
+	}
+}
+
+func TestTypeFingerprintSensitivity(t *testing.T) {
+	type v1 struct{ A, B uint64 }
+	type v2 struct{ A, B, C uint64 }
+	type v3 struct {
+		A uint64
+		B uint32
+	}
+	f1, f2, f3 := TypeFingerprint(v1{}), TypeFingerprint(v2{}), TypeFingerprint(v3{})
+	if f1 == f2 || f1 == f3 || f2 == f3 {
+		t.Fatalf("fingerprints collide: %s %s %s", f1, f2, f3)
+	}
+	if f1 != TypeFingerprint(v1{}) {
+		t.Fatal("fingerprint not deterministic")
+	}
+}
+
+func TestRegisterMetricsOnObsRegistry(t *testing.T) {
+	c, err := Open("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg obs.Registry
+	c.RegisterMetrics(&reg)
+	c.Put(testKey(9), []byte("x"))
+	c.Get(testKey(9))
+	c.Get(testKey(10))
+	vals := reg.Eval()
+	names := reg.Names()
+	byName := map[string]float64{}
+	for i, n := range names {
+		byName[n] = vals[i]
+	}
+	if byName["cache_hits"] != 1 || byName["cache_misses"] != 1 || byName["cache_puts"] != 1 {
+		t.Fatalf("gauges = %v", byName)
+	}
+}

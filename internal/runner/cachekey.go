@@ -1,0 +1,111 @@
+package runner
+
+import (
+	"strconv"
+
+	"protozoa/internal/core"
+	"protozoa/internal/obs"
+	"protozoa/internal/obs/attrib"
+	"protozoa/internal/resultcache"
+	"protozoa/internal/stats"
+)
+
+// CellSpec is everything that determines a cell's result: the fully
+// resolved machine configuration, the workload/trace identity, and
+// which observations the driver asked for. It exists to derive the
+// cell's content-addressed cache key.
+type CellSpec struct {
+	// Config is the resolved machine configuration — after defaults,
+	// core counts, and knobs have been applied. Workers is excluded
+	// from the hash: results are byte-identical at any worker count
+	// (the PR 6 contract), so all -workers settings share one entry.
+	Config core.Config
+
+	// Workload names the trace source; Scale and Seed parameterize the
+	// deterministic stream generators. Drivers with bespoke streams
+	// (protozoa-verify) describe them in Extra instead.
+	Workload string
+	Scale    int
+	Seed     uint64
+
+	// Extra carries driver-specific identity as ordered name/value
+	// pairs — e.g. verify's access-count/store-percentage/region-pool
+	// parameters that aren't part of Config.
+	Extra [][2]string
+
+	// Observation shape. Cells that request different observations
+	// store different payloads, so the flags are part of the key.
+	NeedAttrib  bool
+	NeedLatency bool
+
+	// Extract names the driver's Extract serialization ("" when the
+	// cell has none); the name doubles as that codec's version tag.
+	Extract string
+}
+
+// ConfigHash canonically hashes the spec — configuration, workload
+// identity, and observation shape, but not the code version. This is
+// the stable half of the key: it changes exactly when the cell's
+// inputs change, and the golden test pins it. A spec whose config
+// can't be canonicalized (an injected PredictorOverride hook) is
+// uncacheable and reports the error.
+func (s CellSpec) ConfigHash() (resultcache.Key, error) {
+	b := resultcache.NewBuilder()
+	hc := s.Config
+	hc.Workers = 0 // byte-identical at any worker count
+	if err := resultcache.AddStruct(b, "config", hc); err != nil {
+		return resultcache.Key{}, err
+	}
+	b.Field("workload", s.Workload)
+	b.Field("scale", strconv.Itoa(s.Scale))
+	b.Field("seed", strconv.FormatUint(s.Seed, 10))
+	for _, kv := range s.Extra {
+		b.Field("extra."+kv[0], kv[1])
+	}
+	b.Field("need.attrib", boolStr(s.NeedAttrib))
+	b.Field("need.latency", boolStr(s.NeedLatency))
+	b.Field("extract", s.Extract)
+	return b.Sum(), nil
+}
+
+// payloadFingerprint pins the shape of everything a cached payload can
+// carry: a field added to (or removed from) any of these types changes
+// every key, so stale payloads from older schemas are never decoded.
+var payloadFingerprint = func() string {
+	return resultcache.TypeFingerprint(stats.Stats{}) +
+		resultcache.TypeFingerprint(attrib.Dump{}) +
+		resultcache.TypeFingerprint(obs.LatencyBreakdown{})
+}()
+
+// Key derives the cell's cache key: the ConfigHash plus the code
+// version stamp and the payload schema fingerprint. The zero Key
+// (spec uncacheable) disables caching for the cell.
+func (s CellSpec) Key() resultcache.Key {
+	ch, err := s.ConfigHash()
+	if err != nil {
+		return resultcache.Key{}
+	}
+	b := resultcache.NewBuilder()
+	b.Field("confighash", ch.String())
+	b.Field("codestamp", resultcache.CodeStamp())
+	b.Field("payloadfp", payloadFingerprint)
+	return b.Sum()
+}
+
+// OpenCache resolves the shared -cache/-cache-dir flag semantics:
+// disabled returns no cache at all; enabled without a directory runs
+// the in-memory tier only (per-process dedup); a directory adds the
+// persistent tier that makes grids resumable across processes.
+func OpenCache(enabled bool, dir string) (*resultcache.Cache, error) {
+	if !enabled {
+		return nil, nil
+	}
+	return resultcache.Open(dir, 0)
+}
+
+func boolStr(v bool) string {
+	if v {
+		return "true"
+	}
+	return "false"
+}

@@ -77,25 +77,35 @@ func (g Grid) Cells() ([]Cell, error) {
 			for _, knob := range g.Knobs {
 				set := Knobs[knob]
 				for _, rb := range g.Regions {
+					// Resolve the cell's configuration once: the result
+					// cache keys on the fully-resolved config, and Build
+					// hands a copy of the same value to the machine.
+					cfg := core.DefaultConfig(p)
+					cfg.RegionBytes = rb
+					cfg.Workers = g.Workers
+					if err := ConfigureCores(&cfg, g.Cores); err != nil {
+						return nil, err
+					}
+					set(&cfg)
 					cells = append(cells, Cell{
 						Label:    fmt.Sprintf("%s/%s/%s/r%d", spec.Name, p, knob, rb),
 						Workload: spec.Name,
 						Protocol: p,
 						Knob:     knob,
 						Region:   rb,
+						Key: CellSpec{
+							Config:   cfg,
+							Workload: spec.Name,
+							Scale:    g.Scale,
+							Seed:     g.TraceSeed,
+							// Attribution backs the util_pct / wasted_bytes /
+							// false_shared_regions CSV columns.
+							NeedAttrib: true,
+						}.Key(),
+						NeedAttrib: true,
 						Build: func() (*core.System, error) {
-							cfg := core.DefaultConfig(p)
-							cfg.RegionBytes = rb
-							cfg.Workers = g.Workers
-							if err := ConfigureCores(&cfg, g.Cores); err != nil {
-								return nil, err
-							}
-							set(&cfg)
 							return core.NewSystem(cfg, spec.StreamsSeeded(g.Cores, g.Scale, g.TraceSeed))
 						},
-						// Attribution backs the util_pct / wasted_bytes /
-						// false_shared_regions CSV columns.
-						Observe: func(sys *core.System) { sys.EnableAttribution() },
 					})
 				}
 			}

@@ -1,0 +1,76 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"protozoa/internal/obs"
+	"protozoa/internal/obs/attrib"
+	"protozoa/internal/stats"
+)
+
+// cachedResult is the on-disk shape of one cell's outcome. Every field
+// it stores is integral (stats counters, attribution word counts,
+// latency histogram buckets), so a JSON round-trip reproduces the
+// simulated values exactly — which is what lets a warm run render
+// byte-identical CSV/report output. Schema changes are caught by the
+// key's payload fingerprint, not by versioning the payload itself.
+type cachedResult struct {
+	Events  uint64
+	Stats   *stats.Stats
+	Latency *obs.LatencyBreakdown `json:",omitempty"`
+	Attrib  *attrib.Dump          `json:",omitempty"`
+	Extra   []byte                `json:",omitempty"`
+}
+
+// encodeResult serializes a successful result for the cache.
+func encodeResult(r *Result) ([]byte, error) {
+	cr := cachedResult{
+		Events:  r.Events,
+		Stats:   r.Stats,
+		Latency: r.Latency,
+		Extra:   r.Extra,
+	}
+	if r.Attrib != nil {
+		cr.Attrib = r.Attrib.Dump()
+	}
+	return json.Marshal(cr)
+}
+
+// decodeResult reconstructs a result for cell c from a cached payload.
+// A payload missing an observation the cell requires is an error — the
+// caller treats it as a miss and re-simulates.
+func decodeResult(i int, c Cell, payload []byte) (Result, error) {
+	var cr cachedResult
+	if err := json.Unmarshal(payload, &cr); err != nil {
+		return Result{}, fmt.Errorf("decode cached result: %w", err)
+	}
+	if cr.Stats == nil {
+		return Result{}, fmt.Errorf("cached result has no stats")
+	}
+	r := Result{
+		Index:  i,
+		Cell:   c,
+		Stats:  cr.Stats,
+		Events: cr.Events,
+		Extra:  cr.Extra,
+		Cached: true,
+	}
+	if c.NeedAttrib {
+		if cr.Attrib == nil {
+			return Result{}, fmt.Errorf("cached result lacks attribution")
+		}
+		tr, err := attrib.FromDump(cr.Attrib)
+		if err != nil {
+			return Result{}, err
+		}
+		r.Attrib = tr
+	}
+	if c.NeedLatency {
+		if cr.Latency == nil {
+			return Result{}, fmt.Errorf("cached result lacks latency breakdown")
+		}
+		r.Latency = cr.Latency
+	}
+	return r, nil
+}

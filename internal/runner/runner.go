@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"protozoa/internal/core"
+	"protozoa/internal/obs"
 	"protozoa/internal/obs/attrib"
+	"protozoa/internal/resultcache"
 	"protozoa/internal/stats"
 )
 
@@ -37,31 +39,56 @@ type Cell struct {
 	Knob     string
 	Region   int
 
+	// Key, when non-zero, identifies the cell's fully-resolved
+	// configuration in the result cache (see CellSpec.Key). A pool
+	// with a cache consults it before building the machine; the zero
+	// key marks the cell uncacheable and always simulates.
+	Key resultcache.Key
+
+	// NeedAttrib and NeedLatency request the respective observations;
+	// the pool enables them before the run and delivers the trackers
+	// in the result (from the live system or a cached payload alike).
+	NeedAttrib  bool
+	NeedLatency bool
+
 	// Build constructs the cell's machine. It runs on a worker
 	// goroutine and must return a system no other cell touches.
 	Build func() (*core.System, error)
 
 	// Observe, when non-nil, runs between Build and the simulation —
-	// the hook drivers use to attach a core.Checker.
+	// the hook drivers use to attach a core.Checker. Observations made
+	// this way are invisible to the result cache; pair Observe with
+	// Extract to make their outcome cacheable.
 	Observe func(*core.System)
+
+	// Extract, when non-nil, serializes driver-specific outcome state
+	// after a successful run (e.g. verify's checker summary) into
+	// Result.Extra, which the cache stores and replays verbatim. Cells
+	// with an Extract must name it in their CellSpec so the codec is
+	// part of the key.
+	Extract func(*core.System) ([]byte, error)
 }
 
 // Result is one cell's outcome, delivered in the slot matching the
 // cell's index regardless of completion order.
 type Result struct {
-	Index  int
-	Cell   Cell
-	Stats  *stats.Stats    // nil when Err != nil
-	Attrib *attrib.Tracker // non-nil only when the cell enabled attribution
-	Err    error           // build or simulation failure, wrapped with the label
-	Events uint64          // events the cell's engine processed
-	Wall   time.Duration   // wall-clock time the cell took
+	Index   int
+	Cell    Cell
+	Stats   *stats.Stats          // nil when Err != nil
+	Attrib  *attrib.Tracker       // non-nil when the cell requested attribution
+	Latency *obs.LatencyBreakdown // non-nil when the cell requested the breakdown
+	Extra   []byte                // Cell.Extract output, replayed verbatim on cache hits
+	Err     error                 // build or simulation failure, wrapped with the label
+	Events  uint64                // events the cell's engine processed
+	Cached  bool                  // result came from the cache, nothing was simulated
+	Wall    time.Duration         // wall-clock time the cell took
 }
 
 // Summary aggregates one pool run.
 type Summary struct {
 	Cells     int           // cells executed
 	Failed    int           // cells that returned an error
+	Cached    int           // cells answered from the result cache
 	Jobs      int           // worker-pool width actually used
 	Events    uint64        // engine events across all cells
 	SimCycles uint64        // simulated cycles across completed cells
@@ -69,14 +96,21 @@ type Summary struct {
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("%d cells (%d failed), %d events, %d simulated cycles, %s wall on %d jobs",
-		s.Cells, s.Failed, s.Events, s.SimCycles, s.Wall.Round(time.Millisecond), s.Jobs)
+	return fmt.Sprintf("%d cells (%d failed, %d cached), %d events, %d simulated cycles, %s wall on %d jobs",
+		s.Cells, s.Failed, s.Cached, s.Events, s.SimCycles, s.Wall.Round(time.Millisecond), s.Jobs)
 }
 
 // Pool executes cells on a bounded number of worker goroutines.
 type Pool struct {
 	Jobs     int       // concurrent workers; <=0 means GOMAXPROCS
 	Progress io.Writer // per-cell completion lines plus a summary; nil = silent
+
+	// Cache, when non-nil, memoizes cells with a non-zero Key: hits
+	// skip Build and the simulation entirely, misses write back on
+	// success, and identical concurrent cells collapse into one
+	// simulation (singleflight). Results are byte-identical with and
+	// without the cache — that is the content-addressing contract.
+	Cache *resultcache.Cache
 
 	// OnResult, when non-nil, observes each result as its cell
 	// finishes (completion order, serialized under the pool's mutex).
@@ -111,7 +145,7 @@ func (p Pool) Run(cells []Cell) ([]Result, Summary) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				r := runCell(i, cells[i])
+				r := p.runCell(i, cells[i])
 				results[i] = r
 				if p.Progress != nil || p.OnResult != nil {
 					mu.Lock()
@@ -120,6 +154,8 @@ func (p Pool) Run(cells []Cell) ([]Result, Summary) {
 						status := "ok"
 						if r.Err != nil {
 							status = "FAIL: " + r.Err.Error()
+						} else if r.Cached {
+							status = "cached"
 						}
 						fmt.Fprintf(p.Progress, "[%d/%d] %s: %s (%d events, %s)\n",
 							done, len(cells), r.Cell.Label, status, r.Events, r.Wall.Round(time.Millisecond))
@@ -140,6 +176,9 @@ func (p Pool) Run(cells []Cell) ([]Result, Summary) {
 
 	sum := Summary{Cells: len(cells), Jobs: jobs, Wall: time.Since(start)}
 	for _, r := range results {
+		if r.Cached {
+			sum.Cached++
+		}
 		if r.Err != nil {
 			sum.Failed++
 		} else {
@@ -156,7 +195,50 @@ func (p Pool) Run(cells []Cell) ([]Result, Summary) {
 	return results, sum
 }
 
-func runCell(i int, c Cell) Result {
+// runCell resolves one cell: from the cache when possible, by
+// simulating otherwise. Any cache-side failure — undecodable payload,
+// a concurrent leader's error — degrades to a plain simulation, never
+// to a failed cell the simulator itself wouldn't have failed.
+func (p Pool) runCell(i int, c Cell) Result {
+	if p.Cache == nil || c.Key.IsZero() {
+		return simCell(i, c)
+	}
+	start := time.Now()
+	var (
+		ran  bool
+		self Result
+	)
+	payload, _, err := p.Cache.Do(c.Key, func() ([]byte, error) {
+		ran = true
+		self = simCell(i, c)
+		if self.Err != nil {
+			return nil, self.Err
+		}
+		return encodeResult(&self)
+	})
+	if ran {
+		// We were the leader: our own simulation outcome stands whether
+		// or not the write-back succeeded (errors are never cached, and
+		// an encode failure just leaves the entry unwritten).
+		return self
+	}
+	if err != nil {
+		// A concurrent leader failed. The failure is deterministic, but
+		// re-running produces this cell's own correctly-labelled error.
+		return simCell(i, c)
+	}
+	r, derr := decodeResult(i, c, payload)
+	if derr != nil {
+		// Payload doesn't carry what this cell needs (or is garbled in
+		// a way the disk checksum can't see) — fall back to simulating.
+		return simCell(i, c)
+	}
+	r.Wall = time.Since(start)
+	return r
+}
+
+// simCell builds and runs one cell's machine.
+func simCell(i int, c Cell) Result {
 	start := time.Now()
 	r := Result{Index: i, Cell: c}
 	sys, err := c.Build()
@@ -164,6 +246,13 @@ func runCell(i int, c Cell) Result {
 		r.Err = fmt.Errorf("%s: %w", c.Label, err)
 		r.Wall = time.Since(start)
 		return r
+	}
+	var lat *obs.LatencyBreakdown
+	if c.NeedAttrib {
+		sys.EnableAttribution()
+	}
+	if c.NeedLatency {
+		lat = sys.EnableLatencyBreakdown()
 	}
 	if c.Observe != nil {
 		c.Observe(sys)
@@ -173,6 +262,13 @@ func runCell(i int, c Cell) Result {
 	} else {
 		r.Stats = sys.Stats()
 		r.Attrib = sys.Attribution()
+		r.Latency = lat
+		if c.Extract != nil {
+			if r.Extra, err = c.Extract(sys); err != nil {
+				r.Err = fmt.Errorf("%s: extract: %w", c.Label, err)
+				r.Stats, r.Attrib, r.Latency = nil, nil, nil
+			}
+		}
 	}
 	r.Events = sys.EventsProcessed()
 	r.Wall = time.Since(start)

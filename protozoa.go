@@ -27,6 +27,8 @@ import (
 	"protozoa/internal/mem"
 	"protozoa/internal/obs/attrib"
 	"protozoa/internal/profile"
+	"protozoa/internal/resultcache"
+	"protozoa/internal/runner"
 	"protozoa/internal/stats"
 	"protozoa/internal/trace"
 	"protozoa/internal/workloads"
@@ -62,6 +64,19 @@ type Options = harness.Options
 
 // DefaultOptions is the paper's 16-core configuration.
 func DefaultOptions() Options { return harness.DefaultOptions() }
+
+// ResultCache is the two-tier content-addressed result store; assign
+// one to Options.Cache to memoize matrix cells across calls (and, with
+// a directory, across processes). See docs/CACHING.md.
+type ResultCache = resultcache.Cache
+
+// OpenCache opens a result cache for Options.Cache: enabled=false
+// returns nil (no caching), an empty dir keeps results in memory only,
+// and a directory adds the persistent tier that makes repeated and
+// interrupted experiment grids resume instead of re-simulating.
+func OpenCache(enabled bool, dir string) (*ResultCache, error) {
+	return runner.OpenCache(enabled, dir)
+}
 
 // Run simulates one built-in workload under one protocol.
 func Run(workload string, p Protocol, o Options) (*Stats, error) {
