@@ -19,54 +19,58 @@ verify:
 	$(MAKE) pdes-smoke
 	$(MAKE) cache-smoke
 
+# Every smoke target works in its own mktemp -d scratch directory,
+# removed on exit (success or failure), so concurrent invocations never
+# trample each other and nothing accumulates in /tmp.
+
 # pdes-smoke: one workload under the parallel window loop at 1 and 4
 # workers; the full JSON stats dump must be byte-identical (the
 # determinism contract -workers rests on, end to end through the CLI).
 pdes-smoke:
-	@mkdir -p /tmp/protozoa-smoke
-	go build -o /tmp/protozoa-smoke/protozoa-sim ./cmd/protozoa-sim
-	@/tmp/protozoa-smoke/protozoa-sim -workload barnes -protocol mw -scale 1 \
-		-workers 1 -json > /tmp/protozoa-smoke/w1.json
-	@/tmp/protozoa-smoke/protozoa-sim -workload barnes -protocol mw -scale 1 \
-		-workers 4 -json > /tmp/protozoa-smoke/w4.json
-	@cmp /tmp/protozoa-smoke/w1.json /tmp/protozoa-smoke/w4.json \
-		|| { echo "pdes-smoke: -workers 1 and -workers 4 diverge"; exit 1; }
-	@echo "pdes-smoke: -workers 1 and -workers 4 stats byte-identical"
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	go build -o $$d/protozoa-sim ./cmd/protozoa-sim; \
+	$$d/protozoa-sim -workload barnes -protocol mw -scale 1 \
+		-workers 1 -json > $$d/w1.json; \
+	$$d/protozoa-sim -workload barnes -protocol mw -scale 1 \
+		-workers 4 -json > $$d/w4.json; \
+	cmp $$d/w1.json $$d/w4.json \
+		|| { echo "pdes-smoke: -workers 1 and -workers 4 diverge"; exit 1; }; \
+	echo "pdes-smoke: -workers 1 and -workers 4 stats byte-identical"
 
 # trace-smoke: a 1-iteration simulation with event tracing and the
 # metrics registry enabled, validating both JSON artifacts parse
 # (python3 json.tool; Perfetto loads anything that passes).
 trace-smoke:
-	@mkdir -p /tmp/protozoa-smoke
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
 	go run ./cmd/protozoa-sim -workload histogram -protocol mw -scale 1 \
-		-trace-out /tmp/protozoa-smoke/trace.json \
-		-metrics-out /tmp/protozoa-smoke/metrics.json > /dev/null
-	python3 -m json.tool /tmp/protozoa-smoke/trace.json > /dev/null
-	python3 -m json.tool /tmp/protozoa-smoke/metrics.json > /dev/null
-	@echo "trace-smoke: trace.json and metrics.json parse OK"
+		-trace-out $$d/trace.json \
+		-metrics-out $$d/metrics.json > /dev/null; \
+	python3 -m json.tool $$d/trace.json > /dev/null; \
+	python3 -m json.tool $$d/metrics.json > /dev/null; \
+	echo "trace-smoke: trace.json and metrics.json parse OK"
 
 # obs-smoke: trace-smoke plus a live scrape — run protozoa-sim with
 # -serve, curl /metrics mid-run, and validate every non-comment line is
 # Prometheus `name value` text including the attribution gauges.
 obs-smoke: trace-smoke
-	@mkdir -p /tmp/protozoa-smoke
-	go build -o /tmp/protozoa-smoke/protozoa-sim ./cmd/protozoa-sim
-	@/tmp/protozoa-smoke/protozoa-sim -workload histogram -protocol mw \
-		-cores 16 -scale 60 -serve 127.0.0.1:18099 > /dev/null 2>/tmp/protozoa-smoke/serve.err & \
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	go build -o $$d/protozoa-sim ./cmd/protozoa-sim; \
+	$$d/protozoa-sim -workload histogram -protocol mw \
+		-cores 16 -scale 60 -serve 127.0.0.1:18099 > /dev/null 2>$$d/serve.err & \
 	pid=$$!; \
 	ok=0; \
 	for i in $$(seq 1 100); do \
-		if curl -sf http://127.0.0.1:18099/metrics > /tmp/protozoa-smoke/metrics.prom 2>/dev/null \
-			&& grep -q '^protozoa_snapshots_total [1-9]' /tmp/protozoa-smoke/metrics.prom; then ok=1; break; fi; \
+		if curl -sf http://127.0.0.1:18099/metrics > $$d/metrics.prom 2>/dev/null \
+			&& grep -q '^protozoa_snapshots_total [1-9]' $$d/metrics.prom; then ok=1; break; fi; \
 		sleep 0.1; \
 	done; \
-	wait $$pid || { echo "obs-smoke: simulator failed"; cat /tmp/protozoa-smoke/serve.err; exit 1; }; \
-	[ $$ok -eq 1 ] || { echo "obs-smoke: live endpoint never answered"; exit 1; }
-	@grep -q '^protozoa_attrib_fetched_words ' /tmp/protozoa-smoke/metrics.prom \
-		|| { echo "obs-smoke: attribution gauges missing"; exit 1; }
-	@awk '!/^#/ { if (NF != 2 || $$1 !~ /^protozoa_[a-zA-Z0-9_:]+$$/ || $$2 !~ /^[0-9.eE+-]+$$/) \
-		{ print "obs-smoke: bad metrics line: " $$0; exit 1 } }' /tmp/protozoa-smoke/metrics.prom
-	@echo "obs-smoke: live /metrics served valid Prometheus text mid-run"
+	wait $$pid || { echo "obs-smoke: simulator failed"; cat $$d/serve.err; exit 1; }; \
+	[ $$ok -eq 1 ] || { echo "obs-smoke: live endpoint never answered"; exit 1; }; \
+	grep -q '^protozoa_attrib_fetched_words ' $$d/metrics.prom \
+		|| { echo "obs-smoke: attribution gauges missing"; exit 1; }; \
+	awk '!/^#/ { if (NF != 2 || $$1 !~ /^protozoa_[a-zA-Z0-9_:]+$$/ || $$2 !~ /^[0-9.eE+-]+$$/) \
+		{ print "obs-smoke: bad metrics line: " $$0; exit 1 } }' $$d/metrics.prom; \
+	echo "obs-smoke: live /metrics served valid Prometheus text mid-run"
 
 # cache-smoke: the persistent result cache end to end, in two acts.
 # Warm: a cold sweep populates a fresh -cache-dir, then the identical
@@ -78,48 +82,68 @@ obs-smoke: trace-smoke
 CACHE_SMOKE_GRID = -workloads linear-regression,barnes -protocols all -scale 8
 
 cache-smoke:
-	@mkdir -p /tmp/protozoa-smoke
-	@rm -rf /tmp/protozoa-smoke/cache /tmp/protozoa-smoke/cache-resume
-	go build -o /tmp/protozoa-smoke/protozoa-sweep ./cmd/protozoa-sweep
-	@/tmp/protozoa-smoke/protozoa-sweep $(CACHE_SMOKE_GRID) \
-		-cache-dir /tmp/protozoa-smoke/cache \
-		> /tmp/protozoa-smoke/cold.csv 2>/dev/null
-	@/tmp/protozoa-smoke/protozoa-sweep $(CACHE_SMOKE_GRID) \
-		-cache-dir /tmp/protozoa-smoke/cache -progress \
-		> /tmp/protozoa-smoke/warm.csv 2>/tmp/protozoa-smoke/warm.err
-	@cmp /tmp/protozoa-smoke/cold.csv /tmp/protozoa-smoke/warm.csv \
-		|| { echo "cache-smoke: warm CSV differs from cold"; exit 1; }
-	@grep -q '8 cells (0 failed, 8 cached)' /tmp/protozoa-smoke/warm.err \
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	go build -o $$d/protozoa-sweep ./cmd/protozoa-sweep; \
+	$$d/protozoa-sweep $(CACHE_SMOKE_GRID) \
+		-cache-dir $$d/cache \
+		> $$d/cold.csv 2>/dev/null; \
+	$$d/protozoa-sweep $(CACHE_SMOKE_GRID) \
+		-cache-dir $$d/cache -progress \
+		> $$d/warm.csv 2>$$d/warm.err; \
+	cmp $$d/cold.csv $$d/warm.csv \
+		|| { echo "cache-smoke: warm CSV differs from cold"; exit 1; }; \
+	grep -q '8 cells (0 failed, 8 cached)' $$d/warm.err \
 		|| { echo "cache-smoke: warm run re-simulated cells:"; \
-		     tail -1 /tmp/protozoa-smoke/warm.err; exit 1; }
-	@echo "cache-smoke: warm re-run 100% cached, CSV byte-identical"
-	@/tmp/protozoa-smoke/protozoa-sweep $(CACHE_SMOKE_GRID) \
-		-cache-dir /tmp/protozoa-smoke/cache-resume \
+		     tail -1 $$d/warm.err; exit 1; }; \
+	echo "cache-smoke: warm re-run 100% cached, CSV byte-identical"; \
+	$$d/protozoa-sweep $(CACHE_SMOKE_GRID) \
+		-cache-dir $$d/cache-resume \
 		> /dev/null 2>&1 & \
 	pid=$$!; \
 	for i in $$(seq 1 200); do \
-		n=$$(find /tmp/protozoa-smoke/cache-resume -name '*.pzc' 2>/dev/null | wc -l); \
+		n=$$(find $$d/cache-resume -name '*.pzc' 2>/dev/null | wc -l); \
 		[ $$n -ge 2 ] && break; \
 		sleep 0.05; \
 	done; \
-	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
-	n=$$(find /tmp/protozoa-smoke/cache-resume -name '*.pzc' | wc -l); \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
+	n=$$(find $$d/cache-resume -name '*.pzc' | wc -l); \
 	[ $$n -ge 1 ] || { echo "cache-smoke: no entries persisted before the kill"; exit 1; }; \
-	[ $$n -le 7 ] || echo "cache-smoke: note: grid finished before the kill ($$n entries)"
-	@/tmp/protozoa-smoke/protozoa-sweep $(CACHE_SMOKE_GRID) \
-		-cache-dir /tmp/protozoa-smoke/cache-resume -progress \
-		> /tmp/protozoa-smoke/resume.csv 2>/tmp/protozoa-smoke/resume.err
-	@cmp /tmp/protozoa-smoke/cold.csv /tmp/protozoa-smoke/resume.csv \
-		|| { echo "cache-smoke: resumed CSV differs from cold"; exit 1; }
-	@grep -Eq '8 cells \(0 failed, [1-8] cached\)' /tmp/protozoa-smoke/resume.err \
+	[ $$n -le 7 ] || echo "cache-smoke: note: grid finished before the kill ($$n entries)"; \
+	$$d/protozoa-sweep $(CACHE_SMOKE_GRID) \
+		-cache-dir $$d/cache-resume -progress \
+		> $$d/resume.csv 2>$$d/resume.err; \
+	cmp $$d/cold.csv $$d/resume.csv \
+		|| { echo "cache-smoke: resumed CSV differs from cold"; exit 1; }; \
+	grep -Eq '8 cells \(0 failed, [1-8] cached\)' $$d/resume.err \
 		|| { echo "cache-smoke: resume run reused nothing:"; \
-		     tail -1 /tmp/protozoa-smoke/resume.err; exit 1; }
-	@echo "cache-smoke: kill-mid-grid resume reused persisted cells, CSV byte-identical"
+		     tail -1 $$d/resume.err; exit 1; }; \
+	echo "cache-smoke: kill-mid-grid resume reused persisted cells, CSV byte-identical"
 
 # bench runs the simulator throughput benchmark with allocation
 # accounting in a benchstat-friendly shape (-count 5). Compare against
-# the committed BENCH_2.json numbers after hot-path changes.
+# the latest committed BENCH_*.json numbers after hot-path changes.
 bench:
 	go test -run '^$$' -bench SimulatorThroughput -benchmem -benchtime 2s -count 5 .
 
-.PHONY: verify bench trace-smoke obs-smoke pdes-smoke cache-smoke
+# bench-compare is the regression workflow behind the committed
+# BENCH_*.json snapshots: run the parallel-throughput benchmark at
+# -count 5, diff per-benchmark medians against the most recent
+# snapshot, and emit the next one. benchstat is used when present;
+# cmd/protozoa-benchdiff (in-repo, no dependencies) always runs and
+# writes the snapshot. Override the endpoints with
+# `make bench-compare BENCH_BASELINE=BENCH_6.json BENCH_OUT=/tmp/x.json`;
+# BENCH_CHANGE sets the snapshot's one-line description.
+BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
+BENCH_OUT ?=
+BENCH_CHANGE ?= uncommitted working tree
+bench-compare:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	go build -o $$d/protozoa-benchdiff ./cmd/protozoa-benchdiff; \
+	go test -run '^$$' -bench SimulatorThroughputParallel -benchmem \
+		-benchtime 2s -count 5 . | tee $$d/bench.txt; \
+	if command -v benchstat >/dev/null 2>&1; then benchstat $$d/bench.txt; fi; \
+	$$d/protozoa-benchdiff -baseline "$(BENCH_BASELINE)" \
+		$(if $(BENCH_OUT),-out "$(BENCH_OUT)") \
+		-change "$(BENCH_CHANGE)" < $$d/bench.txt
+
+.PHONY: verify bench bench-compare trace-smoke obs-smoke pdes-smoke cache-smoke

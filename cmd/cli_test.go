@@ -1,6 +1,6 @@
 // Package cmd_test builds every CLI binary once and exercises its
 // primary paths end to end — the integration layer unit tests cannot
-// reach. Skipped under -short (it compiles eight binaries).
+// reach. Skipped under -short (it compiles nine binaries).
 package cmd_test
 
 import (
@@ -20,6 +20,7 @@ import (
 var tools = []string{
 	"protozoa-sim", "protozoa-table1", "protozoa-figs", "protozoa-verify",
 	"protozoa-trace", "protozoa-profile", "protozoa-sweep", "protozoa-report",
+	"protozoa-benchdiff",
 }
 
 // buildAll compiles the binaries into a shared temp dir.
@@ -334,6 +335,42 @@ func TestCLIs(t *testing.T) {
 		if !strings.Contains(out, "# Protozoa reproduction report") ||
 			!strings.Contains(out, "Headline geomeans") {
 			t.Errorf("report output truncated")
+		}
+	})
+
+	t.Run("benchdiff", func(t *testing.T) {
+		work := t.TempDir()
+		baseline := filepath.Join(work, "BENCH_1.json")
+		if err := os.WriteFile(baseline, []byte(`{
+			"results": {"sequential": {"ns_per_op": 40000000, "accesses_per_s": 800000}}
+		}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin("protozoa-benchdiff"), "-baseline", baseline, "-change", "cli test")
+		cmd.Dir = work
+		cmd.Stdin = strings.NewReader(
+			"BenchmarkSimulatorThroughputParallel/sequential-1 \t 50\t  20000000 ns/op\t 1600000 accesses/s\n" +
+				"BenchmarkSimulatorThroughputParallel/sequential-1 \t 50\t  22000000 ns/op\t 1450000 accesses/s\n" +
+				"BenchmarkSimulatorThroughputParallel/sequential-1 \t 50\t  21000000 ns/op\t 1500000 accesses/s\n")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("benchdiff: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "-47.5%") { // 40e6 -> 21e6 ns/op median
+			t.Errorf("delta table missing the ns/op improvement:\n%s", out)
+		}
+		raw, err := os.ReadFile(filepath.Join(work, "BENCH_2.json"))
+		if err != nil {
+			t.Fatalf("derived snapshot not written: %v", err)
+		}
+		var snap map[string]any
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatalf("snapshot not valid JSON: %v", err)
+		}
+		med, _ := snap["median_of_3"].(map[string]any)
+		seq, _ := med["sequential"].(map[string]any)
+		if seq["ns_per_op"] != 21000000.0 {
+			t.Errorf("snapshot median ns_per_op = %v, want 21000000", seq["ns_per_op"])
 		}
 	})
 }

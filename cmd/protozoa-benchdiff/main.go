@@ -1,0 +1,259 @@
+// protozoa-benchdiff compares `go test -bench` output against a
+// committed BENCH_*.json baseline and emits the next BENCH_*.json.
+//
+// It reads the raw benchmark output (typically -count 5) on stdin,
+// takes the per-benchmark median of every reported metric, prints a
+// delta table against the baseline, and writes a stable-schema JSON
+// snapshot. It is the in-repo fallback for benchstat: no external
+// tooling, no new dependencies, deterministic output.
+//
+//	go test -run '^$' -bench SimulatorThroughputParallel -benchmem \
+//	    -benchtime 2s -count 5 . | protozoa-benchdiff \
+//	    -baseline BENCH_7.json -out BENCH_8.json -change "..."
+//
+// Baselines are located generically: any JSON object in the baseline
+// file that contains a numeric "ns_per_op" is treated as the metrics
+// of the benchmark named by its key (e.g. "sequential", "workers1"),
+// unless it sits under a key containing "baseline" — so a snapshot's
+// own carried-forward baseline block is not mistaken for its results.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line of `go test -bench` output:
+// name (with optional -GOMAXPROCS suffix), iteration count, then
+// whitespace-separated value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+(.+)$`)
+
+// unitKey maps a `go test` metric unit to its stable JSON key.
+func unitKey(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	case "accesses/s":
+		return "accesses_per_s"
+	}
+	r := strings.NewReplacer("/", "_per_", "%", "pct", "-", "_", ">", "_")
+	return r.Replace(unit)
+}
+
+// shortName strips the Benchmark prefix and parent path: the leaf
+// sub-benchmark name used as the JSON key ("sequential", "workers4").
+func shortName(full string) string {
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return strings.TrimPrefix(full, "Benchmark")
+}
+
+// parseBench collects every metric sample per benchmark from raw
+// `go test -bench` output. Returned maps: name -> metric -> samples.
+func parseBench(lines []string) (map[string]map[string][]float64, []string) {
+	samples := map[string]map[string][]float64{}
+	var order []string
+	for _, line := range lines {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := shortName(m[1])
+		fields := strings.Fields(m[3])
+		if samples[name] == nil {
+			samples[name] = map[string][]float64{}
+			order = append(order, name)
+		}
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			k := unitKey(fields[i+1])
+			samples[name][k] = append(samples[name][k], v)
+		}
+	}
+	return samples, order
+}
+
+// median returns the middle sample (lower of two for even counts, so
+// the result is always a value that actually occurred).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[(len(s)-1)/2]
+}
+
+// findBaselines walks arbitrary baseline JSON for objects that carry a
+// numeric ns_per_op, keyed by benchmark short name. Subtrees under a
+// key containing "baseline" are skipped (they are the previous
+// snapshot's own comparison block, not its results).
+func findBaselines(v any, out map[string]map[string]float64) {
+	obj, ok := v.(map[string]any)
+	if !ok {
+		return
+	}
+	for k, child := range obj {
+		if strings.Contains(strings.ToLower(k), "baseline") {
+			continue
+		}
+		if m, ok := child.(map[string]any); ok {
+			if _, has := m["ns_per_op"].(float64); has {
+				metrics := map[string]float64{}
+				for mk, mv := range m {
+					if f, ok := mv.(float64); ok {
+						metrics[mk] = f
+					}
+				}
+				out[k] = metrics
+				continue
+			}
+		}
+		findBaselines(child, out)
+	}
+}
+
+// nextOutName derives BENCH_(N+1).json from a BENCH_N.json baseline
+// path, so bench-compare stays self-maintaining as snapshots accrue.
+func nextOutName(baseline string) string {
+	re := regexp.MustCompile(`^(.*BENCH_)(\d+)(\.json)$`)
+	m := re.FindStringSubmatch(baseline)
+	if m == nil {
+		return "BENCH_next.json"
+	}
+	n, _ := strconv.Atoi(m[2])
+	return m[1] + strconv.Itoa(n+1) + m[3]
+}
+
+// cpuModel reads the host CPU model from /proc/cpuinfo (best effort).
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}
+
+func pctDelta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "previous BENCH_*.json to diff against (optional)")
+	out := flag.String("out", "", "snapshot to write (default: baseline's number + 1)")
+	change := flag.String("change", "", "one-line description recorded in the snapshot")
+	flag.Parse()
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	samples, order := parseBench(lines)
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "protozoa-benchdiff: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	medians := map[string]map[string]float64{}
+	counts := map[string]int{}
+	for name, metrics := range samples {
+		medians[name] = map[string]float64{}
+		for k, xs := range metrics {
+			medians[name][k] = median(xs)
+			if len(xs) > counts[name] {
+				counts[name] = len(xs)
+			}
+		}
+	}
+
+	base := map[string]map[string]float64{}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protozoa-benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		var v any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			fmt.Fprintf(os.Stderr, "protozoa-benchdiff: %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		findBaselines(v, base)
+	}
+
+	// Delta table: one row per (benchmark, metric) present in both runs.
+	deltas := map[string]map[string]string{}
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "%-12s %-16s %16s %16s %9s\n", "benchmark", "metric", "old(med)", "new(med)", "delta")
+	for _, name := range order {
+		keys := make([]string, 0, len(medians[name]))
+		for k := range medians[name] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			nv := medians[name][k]
+			ov, has := base[name][k]
+			if !has {
+				fmt.Fprintf(w, "%-12s %-16s %16s %16.0f %9s\n", name, k, "-", nv, "new")
+				continue
+			}
+			d := pctDelta(ov, nv)
+			if deltas[name] == nil {
+				deltas[name] = map[string]string{}
+			}
+			deltas[name][k] = fmt.Sprintf("%.0f -> %.0f (%s)", ov, nv, d)
+			fmt.Fprintf(w, "%-12s %-16s %16.0f %16.0f %9s\n", name, k, ov, nv, d)
+		}
+	}
+	w.Flush()
+
+	outPath := *out
+	if outPath == "" {
+		outPath = nextOutName(*baseline)
+	}
+	snapshot := map[string]any{
+		"change":    *change,
+		"cpu":       fmt.Sprintf("%s (GOMAXPROCS=%d)", cpuModel(), runtime.GOMAXPROCS(0)),
+		"benchmark": "BenchmarkSimulatorThroughputParallel",
+		"command":   "make bench-compare (go test -run '^$' -bench SimulatorThroughputParallel -benchmem -benchtime 2s -count 5 .)",
+		fmt.Sprintf("median_of_%d", counts[order[0]]): medians,
+	}
+	if *baseline != "" {
+		snapshot["baseline_file"] = *baseline
+		snapshot["delta_vs_baseline"] = deltas
+	}
+	enc, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "protozoa-benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "protozoa-benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

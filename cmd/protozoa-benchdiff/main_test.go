@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+const sample = `goos: linux
+BenchmarkSimulatorThroughputParallel/sequential-1 	      45	  26305847 ns/op	   1216456 accesses/s	12110150 B/op	   28481 allocs/op
+BenchmarkSimulatorThroughputParallel/sequential-1 	      45	  27105847 ns/op	   1180456 accesses/s	12110150 B/op	   28482 allocs/op
+BenchmarkSimulatorThroughputParallel/sequential-1 	      45	  25005847 ns/op	   1279456 accesses/s	12110150 B/op	   28480 allocs/op
+BenchmarkSimulatorThroughputParallel/workers1-1   	      30	  40305847 ns/op	    793456 accesses/s	12655740 B/op	   35421 allocs/op
+PASS
+`
+
+func TestParseBenchMedians(t *testing.T) {
+	samples, order := parseBench(splitLines(sample))
+	if len(order) != 2 || order[0] != "sequential" || order[1] != "workers1" {
+		t.Fatalf("order = %v", order)
+	}
+	if got := median(samples["sequential"]["ns_per_op"]); got != 26305847 {
+		t.Errorf("sequential ns/op median = %v, want 26305847", got)
+	}
+	if got := median(samples["sequential"]["allocs_per_op"]); got != 28481 {
+		t.Errorf("sequential allocs/op median = %v, want 28481", got)
+	}
+	if got := median(samples["workers1"]["accesses_per_s"]); got != 793456 {
+		t.Errorf("workers1 accesses/s median = %v, want 793456", got)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return out
+}
+
+// TestFindBaselines checks the generic walk over a prior snapshot's
+// JSON: results blocks are found wherever they nest, and a snapshot's
+// own carried-forward baseline block is skipped.
+func TestFindBaselines(t *testing.T) {
+	raw := `{
+	  "pdes_alloc_overhead": {
+	    "baseline_median_of_5_BENCH_6": {
+	      "sequential": {"ns_per_op": 40410286, "allocs_per_op": 43970}
+	    },
+	    "after_median_of_5": {
+	      "sequential": {"ns_per_op": 43340905, "accesses_per_s": 738333},
+	      "workers1":   {"ns_per_op": 96017699}
+	    }
+	  }
+	}`
+	var v any
+	if err := json.Unmarshal([]byte(raw), &v); err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]map[string]float64{}
+	findBaselines(v, base)
+	if got := base["sequential"]["ns_per_op"]; got != 43340905 {
+		t.Errorf("sequential ns_per_op = %v, want the after block's 43340905", got)
+	}
+	if got := base["sequential"]["accesses_per_s"]; got != 738333 {
+		t.Errorf("sequential accesses_per_s = %v, want 738333", got)
+	}
+	if got := base["workers1"]["ns_per_op"]; got != 96017699 {
+		t.Errorf("workers1 ns_per_op = %v, want 96017699", got)
+	}
+}
+
+func TestNextOutName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BENCH_7.json":      "BENCH_8.json",
+		"sub/BENCH_19.json": "sub/BENCH_20.json",
+		"odd.json":          "BENCH_next.json",
+	} {
+		if got := nextOutName(in); got != want {
+			t.Errorf("nextOutName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

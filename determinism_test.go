@@ -51,14 +51,20 @@ func TestRunDeterminism(t *testing.T) {
 }
 
 // TestWorkerCountsAgree runs the parallel window loop at 1, 2, 4 and 8
-// workers for every protocol across three workloads and requires
+// workers for every protocol across four workloads and requires
 // bit-identical statistics: partitioned execution must be a pure
 // function of the configuration, never of the goroutine schedule. (The
 // sequential mode is a different — equally deterministic — schedule of
 // same-cycle cross-tile events, so it is not compared here; its own
 // guarantee is TestRunDeterminism.)
+//
+// micro-barrier-skew is the adversarial case for the window-skipping
+// coordinator: nearly every tile sits idle at a barrier each phase
+// while one straggler runs through extended solo windows, so barrier
+// release cycles, idle-tile skipping, and the extended-window self-cap
+// all land on the determinism-critical path.
 func TestWorkerCountsAgree(t *testing.T) {
-	workloads := []string{"barnes", "ocean", "lu"}
+	workloads := []string{"barnes", "ocean", "lu", "micro-barrier-skew"}
 	for _, w := range workloads {
 		for _, p := range protozoa.Protocols() {
 			w, p := w, p

@@ -28,18 +28,24 @@ type cpu struct {
 	pend    trace.Access
 	pendVal uint64
 
-	thinkEv cpuThink // fires after the access's think delay
-	stepEv  cpuStep  // resumes the stream (kickoff and barrier release)
+	accessEv cpuAccess // fused think-delay + L1-lookup event
+	stepEv   cpuStep   // resumes the stream (kickoff and barrier release)
 }
 
-// cpuThink advances a core past its think delay to the scheduled
-// access or barrier arrival.
-type cpuThink struct {
+// cpuAccess is the fused per-access event. step schedules it at
+// +Think+L1HitLat for memory references — the cycle the old
+// thinkEv→resolveEv pair resolved the L1 lookup — and at +Think for
+// barrier arrivals. Issue accounting and the lookup both happen at
+// fire time, so each reference costs one queue round trip instead of
+// two; lookup/complete/miss-issue cycles are unchanged (the lookup
+// always happened at resolve time), only same-cycle seq tie-breaks
+// shift.
+type cpuAccess struct {
 	s *System
 	c *cpu
 }
 
-func (ev *cpuThink) Run() {
+func (ev *cpuAccess) Run() {
 	if ev.c.pend.Kind == trace.Barrier {
 		ev.s.arriveBarrier(ev.c)
 	} else {
@@ -106,15 +112,18 @@ func (s *System) step(c *cpu) {
 		return
 	}
 	c.pend = a
+	var delay engine.Cycle
 	switch a.Kind {
 	case trace.Barrier:
 		t.st.Instructions += uint64(a.Think)
+		delay = engine.Cycle(a.Think)
 	case trace.Load, trace.Store, trace.RMW:
 		t.st.Instructions += uint64(a.Think) + 1
+		delay = engine.Cycle(a.Think) + s.cfg.L1HitLat
 	default:
 		panic("core: unknown trace record kind")
 	}
-	t.eng.ScheduleRunner(engine.Cycle(a.Think), &c.thinkEv)
+	t.eng.ScheduleRunner(delay, &c.accessEv)
 }
 
 func (s *System) issueAccess(c *cpu) {
@@ -128,7 +137,7 @@ func (s *System) issueAccess(c *cpu) {
 		t.st.Stores++
 		cs.Stores++
 		c.pendVal = c.storeToken()
-		s.l1s[c.id].access(a.Addr, accWrite, a.PC, c.pendVal, c)
+		s.l1s[c.id].resolve(a.Addr, accWrite, a.PC, c.pendVal, c)
 	case trace.RMW:
 		// Atomic fetch-and-increment: counted as a store (it acquires
 		// write permission) and observed as both a load of the old
@@ -136,11 +145,11 @@ func (s *System) issueAccess(c *cpu) {
 		t.st.Stores++
 		t.st.RMWs++
 		cs.Stores++
-		s.l1s[c.id].access(a.Addr, accRMW, a.PC, 0, c)
+		s.l1s[c.id].resolve(a.Addr, accRMW, a.PC, 0, c)
 	default:
 		t.st.Loads++
 		cs.Loads++
-		s.l1s[c.id].access(a.Addr, accRead, a.PC, 0, c)
+		s.l1s[c.id].resolve(a.Addr, accRead, a.PC, 0, c)
 	}
 }
 

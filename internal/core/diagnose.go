@@ -38,9 +38,11 @@ func (s *System) diagnose() string {
 	busy := 0
 	for _, d := range s.dirs {
 		var entries []*dirEntry
-		for _, e := range d.dense {
-			if e != nil {
-				entries = append(entries, e)
+		for _, chunk := range d.dense {
+			for _, e := range chunk {
+				if e != nil {
+					entries = append(entries, e)
+				}
 			}
 		}
 		for _, e := range d.sparse {

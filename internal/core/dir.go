@@ -24,10 +24,14 @@ type dirSlice struct {
 
 	// Entry table. Homes interleave regions low-order across tiles
 	// (home = region % cores), so region/cores is a dense, collision-free
-	// per-tile index: the hot path is one bounds check and a slice load
-	// instead of a map lookup. Regions beyond denseDirSlots (sparse
-	// gigantic address spaces in directed tests) fall back to a map.
-	dense  []*dirEntry
+	// per-tile index: the hot path is two bounds checks and two slice
+	// loads instead of a map lookup. The table is chunked — a directory
+	// of lazily allocated fixed-size chunks — so workloads whose arenas
+	// sit high in the address space only allocate the 4 KiB spans they
+	// touch, and growth never copies entry pointers. Regions beyond
+	// denseDirSlots (sparse gigantic address spaces in directed tests)
+	// fall back to a map.
+	dense  [][]*dirEntry
 	sparse map[mem.RegionID]*dirEntry // lazily allocated overflow
 	count  int                        // live entries across dense+sparse
 
@@ -55,8 +59,15 @@ type dirSlice struct {
 }
 
 // denseDirSlots caps the directly indexed entry table at 8 MiB of
-// pointers per tile; regions above it live in the sparse map.
-const denseDirSlots = 1 << 20
+// pointers per tile; regions above it live in the sparse map. The
+// table is split into 512-slot (4 KiB) chunks allocated on first
+// touch.
+const (
+	denseDirSlots = 1 << 20
+	dirChunkBits  = 9
+	dirChunkSlots = 1 << dirChunkBits
+	dirChunkMask  = dirChunkSlots - 1
+)
 
 // dirEntry is one region's directory entry plus its L2 data block.
 type dirEntry struct {
@@ -178,9 +189,11 @@ func (d *dirSlice) lookup(region mem.RegionID) *dirEntry {
 		return d.lastEntry
 	}
 	var e *dirEntry
-	if idx := d.slot(region); idx < uint64(len(d.dense)) {
-		e = d.dense[idx]
-	} else if idx >= denseDirSlots {
+	if idx := d.slot(region); idx < denseDirSlots {
+		if ch := idx >> dirChunkBits; ch < uint64(len(d.dense)) && d.dense[ch] != nil {
+			e = d.dense[ch][idx&dirChunkMask]
+		}
+	} else {
 		e = d.sparse[region]
 	}
 	if e != nil {
@@ -202,16 +215,18 @@ func (d *dirSlice) mustEntry(region mem.RegionID) *dirEntry {
 
 func (d *dirSlice) insert(region mem.RegionID, e *dirEntry) {
 	if idx := d.slot(region); idx < denseDirSlots {
-		if idx >= uint64(len(d.dense)) {
-			n := uint64(len(d.dense))*2 + 1
-			if n <= idx {
-				n = idx + 1
-			}
-			grown := make([]*dirEntry, n)
+		ch := idx >> dirChunkBits
+		if ch >= uint64(len(d.dense)) {
+			// The chunk directory holds one pointer per 512 slots, so
+			// growing it copies at most 2 KiB even at the table cap.
+			grown := make([][]*dirEntry, ch+1)
 			copy(grown, d.dense)
 			d.dense = grown
 		}
-		d.dense[idx] = e
+		if d.dense[ch] == nil {
+			d.dense[ch] = make([]*dirEntry, dirChunkSlots)
+		}
+		d.dense[ch][idx&dirChunkMask] = e
 	} else {
 		if d.sparse == nil {
 			d.sparse = make(map[mem.RegionID]*dirEntry)
@@ -260,8 +275,10 @@ func (d *dirSlice) evictLRURegion() {
 			victim = e
 		}
 	}
-	for _, e := range d.dense {
-		consider(e)
+	for _, chunk := range d.dense {
+		for _, e := range chunk {
+			consider(e)
+		}
 	}
 	for _, e := range d.sparse {
 		consider(e)
@@ -317,8 +334,11 @@ func (d *dirSlice) dropEntry(e *dirEntry) {
 		d.tl.st.MemWritebacks++
 		d.persistWords(e, e.valid)
 	}
-	if idx := d.slot(e.region); idx < uint64(len(d.dense)) && d.dense[idx] == e {
-		d.dense[idx] = nil
+	if idx := d.slot(e.region); idx < denseDirSlots {
+		if ch := idx >> dirChunkBits; ch < uint64(len(d.dense)) &&
+			d.dense[ch] != nil && d.dense[ch][idx&dirChunkMask] == e {
+			d.dense[ch][idx&dirChunkMask] = nil
+		}
 	} else {
 		delete(d.sparse, e.region)
 	}

@@ -33,10 +33,6 @@ type l1Ctrl struct {
 	ms     mshr
 	msLive bool
 
-	// resolveEv is the reusable L1-pipeline event; with one access in
-	// flight per core it is re-armed for every reference.
-	resolveEv resolveEvent
-
 	// wordCause remembers, per word, why this L1 last lost it — the
 	// cold/capacity/coherence/granularity miss classification.
 	wordCause map[mem.RegionID]*[mem.MaxRegionWords]deathCause
@@ -47,21 +43,6 @@ type l1Ctrl struct {
 // keeps the per-access path closure-free.
 type completer interface {
 	complete(val uint64)
-}
-
-// resolveEvent is the pre-bound "L1 pipeline done" event: access fills
-// the fields and schedules it after the hit latency.
-type resolveEvent struct {
-	l        *l1Ctrl
-	addr     mem.Addr
-	mode     accessMode
-	pc       uint64
-	storeVal uint64
-	done     completer
-}
-
-func (ev *resolveEvent) Run() {
-	ev.l.resolve(ev.addr, ev.mode, ev.pc, ev.storeVal, ev.done)
 }
 
 // deathCause classifies how a word last left this L1.
@@ -102,12 +83,10 @@ type mshr struct {
 }
 
 func newL1(sys *System, tl *tile, id int, c *cache.Cache, p predictor.Predictor) *l1Ctrl {
-	l := &l1Ctrl{
+	return &l1Ctrl{
 		sys: sys, tl: tl, id: id, cache: c, pred: p,
 		wordCause: make(map[mem.RegionID]*[mem.MaxRegionWords]deathCause),
 	}
-	l.resolveEv.l = l
-	return l
 }
 
 // openMSHR returns the live MSHR for the region, or nil.
@@ -165,21 +144,6 @@ func (l *l1Ctrl) classifyMiss(region mem.RegionID, w uint8, upgrade bool) {
 // cs is this core's per-core counter slice (in the tile's shard).
 func (l *l1Ctrl) cs() *stats.CoreStats { return &l.tl.st.PerCore[l.id] }
 
-// access performs one CPU memory reference. done.complete is invoked
-// with the loaded value (or the stored value) when the reference
-// completes. The in-order core issues at most one reference at a time,
-// so the reusable resolveEv is always free here.
-func (l *l1Ctrl) access(addr mem.Addr, mode accessMode, pc, storeVal uint64, done completer) {
-	// The 2-cycle L1 pipeline: resolve the access after the hit latency
-	// so values bind at completion time.
-	l.resolveEv.addr = addr
-	l.resolveEv.mode = mode
-	l.resolveEv.pc = pc
-	l.resolveEv.storeVal = storeVal
-	l.resolveEv.done = done
-	l.tl.eng.ScheduleRunner(l.sys.cfg.L1HitLat, &l.resolveEv)
-}
-
 // applyWrite commits a store or RMW to a writable block and returns
 // the value the CPU observes (the stored value, or the pre-increment
 // value for an RMW).
@@ -195,6 +159,11 @@ func applyWrite(b *cache.Block, w uint8, mode accessMode, storeVal uint64) uint6
 	return storeVal
 }
 
+// resolve performs one CPU memory reference at the end of the L1
+// pipeline: the fused per-core event fires it L1HitLat cycles after
+// issue, so values bind at completion time. done.complete is invoked
+// with the loaded value (or the stored value) when the reference
+// completes; the in-order core issues at most one reference at a time.
 func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, done completer) {
 	g := l.sys.geom
 	region, w := g.Region(addr), g.WordOffset(addr)

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"protozoa/internal/engine"
@@ -20,20 +23,35 @@ import (
 // The lookahead contract makes this safe: every cross-tile interaction
 // is a coherence message, and the mesh charges at least
 // Lookahead() = RouterLat + HopLatency cycles between send and
-// delivery. A window [T, T+W) with W = Lookahead() therefore cannot
-// carry a message sent inside the window back into the same window: a
-// send at cycle >= T arrives at cycle >= T+W. Cross-tile sends park in
-// the sender's outbox and the coordinator moves them to the destination
-// queue at the window barrier, so within a window every tile runs on
-// purely local state.
+// delivery. Each round, tile i runs events strictly below its own
+// bound: with p_j the earliest queued cycle on tile j at the round
+// edge, no tile can send before its own p_j, so nothing can ARRIVE at
+// i before min over other tiles of p_j, plus W = Lookahead(). Tiles
+// whose next events lie at or past their bound skip the round
+// entirely (their worker slot is never claimed), and a tile running
+// alone gets an extended window that self-caps when it actually sends
+// (Engine.LimitTo in tile.send): a message parked with arrival a can
+// have causal consequences for the sender no earlier than a+W.
+// Cross-tile sends park in the sender's outbox and the coordinator
+// moves them to the destination queue at the round barrier, so within
+// a round every tile runs on purely local state, and an injected
+// arrival is never in the receiver's past (a >= sender's p + W >=
+// receiver's bound > receiver's clock).
 //
 // Determinism does not depend on the worker count. Tiles are mutually
-// independent inside a window, so which worker runs which tile (and in
+// independent inside a round, so which worker runs which tile (and in
 // what order) cannot change any tile's event sequence; every
-// cross-window interaction funnels through the single-threaded
-// coordinator, which iterates tiles in index order. Workers=1 and
-// Workers=N produce byte-identical stats, traces, timelines and
-// attribution for every N.
+// cross-round interaction funnels through the single-threaded
+// coordinator, which iterates tiles in index order. The bounds are
+// functions of the tiles' queue states and the tiles' own sends, both
+// of which are schedule-independent, so Workers=1 and Workers=N
+// produce byte-identical stats, traces, timelines and attribution for
+// every N, under either queue implementation.
+
+// soloSlice caps how far a tile may run past the rest of the machine
+// in one round, so the MaxEvents watchdog (checked between rounds)
+// keeps its teeth even when a lone tile drains a long private queue.
+const soloSlice = engine.Cycle(1) << 16
 
 // runPDES executes the machine to completion with the window loop.
 // System.Run dispatches here when Config.Workers > 0.
@@ -41,7 +59,6 @@ func (s *System) runPDES() error {
 	if err := s.pdesCheck(); err != nil {
 		return err
 	}
-	W := s.mesh.Lookahead()
 	for _, c := range s.cpus {
 		c.tl.eng.ScheduleRunner(0, &c.stepEv)
 	}
@@ -56,84 +73,15 @@ func (s *System) runPDES() error {
 		s.nextSample = s.timelineInterval
 	}
 
-	var prevEnd engine.Cycle
-	active := make([]*tile, 0, len(s.tiles))
-	for {
-		// Deliver the previous window's cross-tile messages. Their
-		// arrival cycles are >= prevEnd by the lookahead contract, so
-		// they land in the destination's future.
-		for _, t := range s.tiles {
-			for _, om := range t.outbox {
-				s.tiles[om.m.Dst].eng.ScheduleRunnerAt(om.at, om.m)
-			}
-			t.outbox = t.outbox[:0]
-		}
-
-		// Global barrier release. Arrival is recorded per tile as the
-		// arrival events run; the count-and-release that the sequential
-		// mode performs inline happens here, at the window edge, which
-		// is the earliest globally-consistent point.
-		arrived, done := 0, 0
-		for _, t := range s.tiles {
-			if t.coreDone {
-				done++
-			}
-			if t.barrierArrived {
-				arrived++
-			}
-		}
-		if arrived > 0 && arrived+done == s.cfg.Cores {
-			for _, t := range s.tiles {
-				if t.barrierArrived {
-					t.barrierArrived = false
-					t.eng.ScheduleRunnerAt(prevEnd, &s.cpus[t.id].stepEv)
-				}
-			}
-		}
-
-		var T engine.Cycle
-		found := false
-		for _, t := range s.tiles {
-			if at, ok := t.eng.PeekCycle(); ok && (!found || at < T) {
-				T, found = at, true
-			}
-		}
-		if !found {
-			break
-		}
-		windowEnd := T + W
-
-		active = active[:0]
-		for _, t := range s.tiles {
-			if at, ok := t.eng.PeekCycle(); ok && at < windowEnd {
-				active = append(active, t)
-			}
-		}
-		if pool == nil || len(active) == 1 {
-			for _, t := range active {
-				t.eng.RunUntil(windowEnd)
-			}
-		} else {
-			pool.run(active, windowEnd)
-		}
-
-		prevEnd = windowEnd
-		s.pdesNow = windowEnd
-
-		if s.cfg.MaxEvents > 0 && s.EventsProcessed() >= s.cfg.MaxEvents && s.pdesPending() > 0 {
-			return fmt.Errorf("core: watchdog fired after %d events (livelock?)\n%s",
-				s.EventsProcessed(), s.diagnose())
-		}
-
-		// Timeline ticks are nominal: a sample labelled cycle C is taken
-		// at the first window edge past C. The edge sequence depends only
-		// on event timings, so samples are worker-count independent.
-		if s.timelineInterval > 0 {
-			for s.nextSample < windowEnd {
-				s.samplePDES(s.nextSample)
-				s.nextSample += s.timelineInterval
-			}
-		}
+	// The coordinator loop runs under a pprof label so -cpuprofile
+	// splits window-loop bookkeeping (and worker-0 simulation work)
+	// from the labelled crew goroutines; see docs/OBSERVABILITY.md.
+	var runErr error
+	pprof.Do(context.Background(), pprof.Labels("pdes", "coordinator"), func(context.Context) {
+		runErr = s.windowLoop(pool)
+	})
+	if runErr != nil {
+		return runErr
 	}
 
 	s.coresDone, s.barrierArrived = 0, 0
@@ -165,6 +113,166 @@ func (s *System) runPDES() error {
 	// because diagnose() wants to inspect the queues.
 	for _, t := range s.tiles {
 		t.eng.Recycle()
+	}
+	return nil
+}
+
+// windowLoop is the coordinator: release barriers, compute per-tile
+// bounds, run the active tiles, inject the messages they parked,
+// repeat until no tile has work. It returns only the watchdog error.
+//
+// The loop is round-heavy — tightly coupled tiles advance only about
+// one lookahead per round — so its bookkeeping is incremental: tile
+// peeks live in a cached array (only tiles that ran or received an
+// injection can change), barrier and completion counts are maintained
+// as flags flip rather than recounted, and each round's scans touch
+// the active tiles plus one pass over the compact peek array.
+func (s *System) windowLoop(pool *pdesPool) error {
+	W := s.mesh.Lookahead()
+	active := make([]*tile, 0, len(s.tiles))
+	peeks := make([]engine.Cycle, len(s.tiles))
+	const noWork = ^engine.Cycle(0) // sentinel: tile's queue is empty
+	for i, t := range s.tiles {
+		peeks[i] = noWork
+		if at, ok := t.eng.PeekCycle(); ok {
+			peeks[i] = at
+		}
+	}
+	arrived, done := 0, 0
+
+	// simNow is the deterministic high-water mark of executed cycles:
+	// the max of every tile's clock across all completed rounds. It is
+	// a function of the tiles' event histories only (bounds derive from
+	// queue states, self-caps from the tiles' own sends), so it is
+	// identical across worker counts and queue implementations.
+	var simNow engine.Cycle
+
+	for {
+		// Global barrier release. Arrival is recorded per tile as the
+		// arrival events run and counted at the round edge below; the
+		// count-and-release that the sequential mode performs inline
+		// happens here, the earliest globally-consistent point. The
+		// resume cycle simNow is past every tile's clock, so the
+		// released cores schedule cleanly, and any requests they then
+		// issue arrive at other tiles at simNow+W or later — past
+		// every bound computed from their resume events.
+		if arrived > 0 && arrived+done == s.cfg.Cores {
+			for i, t := range s.tiles {
+				if t.barrierArrived {
+					t.barrierArrived = false
+					t.barrierCounted = false
+					t.eng.ScheduleRunnerAt(simNow, &s.cpus[t.id].stepEv)
+					if simNow < peeks[i] {
+						peeks[i] = simNow
+					}
+				}
+			}
+			arrived = 0
+		}
+
+		// One pass over the peek array finds the earliest queued cycle
+		// (min1, at minIdx) and the earliest elsewhere (min2). A tie
+		// leaves min2 == min1, which is exactly right: a same-cycle
+		// peer bounds the minimum tile like any other tile does.
+		min1, min2 := noWork, noWork
+		minIdx := -1
+		for i, p := range peeks {
+			if p < min1 {
+				min2 = min1
+				min1, minIdx = p, i
+			} else if p < min2 {
+				min2 = p
+			}
+		}
+		if minIdx < 0 {
+			break // every queue drained: the machine is done
+		}
+
+		// Per-tile bounds. Ordinary tiles may run below min1+W (nothing
+		// can reach them earlier). The minimum tile is bounded by the
+		// REST of the machine, min2+W — when the rest is idle or far in
+		// the future this is the window-skipping/coalescing case: one
+		// extended run (capped at soloSlice so the watchdog keeps its
+		// teeth) replaces what used to be a train of W-cycle windows
+		// with a full scan-and-barrier round each. Extended runs
+		// self-cap on their own sends via Engine.LimitTo. Tiles whose
+		// bound doesn't clear their peek skip the round without
+		// claiming a worker slot.
+		boundOthers := min1 + W
+		for i, p := range peeks {
+			if p >= boundOthers {
+				continue
+			}
+			t := s.tiles[i]
+			if i != minIdx {
+				t.bound = boundOthers
+			} else {
+				t.bound = min1 + soloSlice
+				if min2 != noWork && min2+W < t.bound {
+					t.bound = min2 + W
+				}
+			}
+			active = append(active, t)
+		}
+
+		if pool == nil || len(active) == 1 {
+			for _, t := range active {
+				t.eng.RunUntil(t.bound)
+			}
+		} else {
+			pool.run(active)
+		}
+
+		// Post-round pass over the tiles that ran (only they can have
+		// moved their clock, parked messages, or flipped flags):
+		// advance simNow, inject parked cross-tile messages — an
+		// arrival is never in the receiver's past: it is at least the
+		// sender's round-start peek plus W, which bounded the
+		// receiver's round — and refresh the peek cache. An injection
+		// lowers the destination's cached peek directly; the sender's
+		// own queue is re-peeked after its run.
+		for _, t := range active {
+			if now := t.eng.Now(); now > simNow {
+				simNow = now
+			}
+			for _, om := range t.outbox {
+				s.tiles[om.m.Dst].eng.ScheduleRunnerAt(om.at, om.m)
+				if om.at < peeks[om.m.Dst] {
+					peeks[om.m.Dst] = om.at
+				}
+			}
+			t.outbox = t.outbox[:0]
+			peeks[t.id] = noWork
+			if at, ok := t.eng.PeekCycle(); ok {
+				peeks[t.id] = at
+			}
+			if t.coreDone && !t.doneCounted {
+				t.doneCounted = true
+				done++
+			}
+			if t.barrierArrived && !t.barrierCounted {
+				t.barrierCounted = true
+				arrived++
+			}
+		}
+		active = active[:0]
+		s.pdesNow = simNow
+
+		if s.cfg.MaxEvents > 0 && s.EventsProcessed() >= s.cfg.MaxEvents && s.pdesPending() > 0 {
+			return fmt.Errorf("core: watchdog fired after %d events (livelock?)\n%s",
+				s.EventsProcessed(), s.diagnose())
+		}
+
+		// Timeline ticks are nominal: a sample labelled cycle C is
+		// taken at the first round edge at or past C. The round
+		// sequence depends only on event timings, so samples are
+		// worker-count independent.
+		if s.timelineInterval > 0 {
+			for s.nextSample <= simNow {
+				s.samplePDES(s.nextSample)
+				s.nextSample += s.timelineInterval
+			}
+		}
 	}
 	return nil
 }
@@ -276,7 +384,6 @@ func (s *System) mergePDES() {
 type pdesPool struct {
 	workers int
 	active  []*tile
-	limit   engine.Cycle
 	epoch   atomic.Uint64
 	done    []padUint64
 	quit    atomic.Bool
@@ -296,14 +403,20 @@ func newPDESPool(workers int) *pdesPool {
 	}
 	p := &pdesPool{workers: workers, done: make([]padUint64, workers)}
 	for w := 1; w < workers; w++ {
-		go p.work(w)
+		go func(w int) {
+			// Label the crew goroutines so -cpuprofile attributes
+			// simulation work per worker; see docs/OBSERVABILITY.md.
+			pprof.Do(context.Background(),
+				pprof.Labels("pdes", "worker-"+strconv.Itoa(w)),
+				func(context.Context) { p.work(w) })
+		}(w)
 	}
 	return p
 }
 
 // work is worker w's loop: wait for a new epoch, run the tiles dealt to
 // this worker by static stride, post completion. The epoch increment
-// happens-after the coordinator writes active/limit, and the done store
+// happens-after the coordinator writes active, and the done store
 // happens-after the tile runs, so no other synchronization is needed.
 func (p *pdesPool) work(w int) {
 	var seen uint64
@@ -318,21 +431,23 @@ func (p *pdesPool) work(w int) {
 		}
 		seen = e
 		for i := w; i < len(p.active); i += p.workers {
-			p.active[i].eng.RunUntil(p.limit)
+			t := p.active[i]
+			t.eng.RunUntil(t.bound)
 		}
 		p.done[w].v.Store(e)
 	}
 }
 
-// run executes one window across the crew. Tiles are independent inside
-// a window, so the round-robin deal cannot affect results — only load
-// balance.
-func (p *pdesPool) run(active []*tile, limit engine.Cycle) {
+// run executes one round across the crew. The active list holds only
+// tiles with runnable work (idle tiles never claim a slot), each tagged
+// with its own bound. Tiles are independent inside a round, so the
+// round-robin deal cannot affect results — only load balance.
+func (p *pdesPool) run(active []*tile) {
 	p.active = active
-	p.limit = limit
 	e := p.epoch.Add(1)
 	for i := 0; i < len(active); i += p.workers {
-		active[i].eng.RunUntil(limit)
+		t := active[i]
+		t.eng.RunUntil(t.bound)
 	}
 	for w := 1; w < p.workers; w++ {
 		for p.done[w].v.Load() != e {

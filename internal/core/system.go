@@ -141,8 +141,7 @@ type System struct {
 	// aliases the shared engine, stats, and message pool, so the
 	// controllers always account through their tile and never branch.
 	tiles []*tile
-	pdes  bool // Workers > 0: run the window loop instead of Engine.Run
-
+	pdes  bool         // Workers > 0: run the window loop instead of Engine.Run
 	// Observability hooks (internal/obs). All nil/zero unless the
 	// corresponding Enable* method ran; every use site guards with a
 	// single nil check so the disabled path costs one branch.
@@ -231,9 +230,17 @@ type tile struct {
 
 	// PDES window state, untouched in legacy mode.
 	outbox         []outMsg
+	bound          engine.Cycle   // this round's window bound (exclusive)
+	wRow           []engine.Cycle // wRow[j] = mesh.LookaheadBetween(j, id)
 	coreDone       bool
 	retire         engine.Cycle // cycle this tile's core finished its stream
 	barrierArrived bool
+
+	// doneCounted / barrierCounted mark flags the window loop has
+	// already folded into its incremental counters, so the per-round
+	// bookkeeping touches only the tiles that just ran.
+	doneCounted    bool
+	barrierCounted bool
 }
 
 // newMsg takes a zeroed message from the free list (or allocates one).
@@ -288,6 +295,10 @@ func NewSystem(cfg Config, streams []trace.Stream) (*System, error) {
 		t := &tile{id: i, sys: s}
 		if s.pdes {
 			t.eng = engine.New()
+			t.wRow = make([]engine.Cycle, cfg.Cores)
+			for j := 0; j < cfg.Cores; j++ {
+				t.wRow[j] = mesh.LookaheadBetween(j, i)
+			}
 			t.st = &stats.Stats{PerCore: make([]stats.CoreStats, cfg.Cores)}
 			t.pool = &msgPool{}
 		} else {
@@ -320,7 +331,7 @@ func NewSystem(cfg Config, streams []trace.Stream) (*System, error) {
 		s.l1s = append(s.l1s, newL1(s, s.tiles[i], i, l1cache, pred))
 		s.dirs = append(s.dirs, newDirSlice(s, s.tiles[i], i))
 		c := &cpu{id: i, sys: s, tl: s.tiles[i], stream: streams[i]}
-		c.thinkEv = cpuThink{s: s, c: c}
+		c.accessEv = cpuAccess{s: s, c: c}
 		c.stepEv = cpuStep{s: s, c: c}
 		s.cpus = append(s.cpus, c)
 	}
@@ -447,6 +458,15 @@ func (t *tile) send(m *Msg) {
 		t.eng.ScheduleRunnerAt(at, m)
 	} else {
 		t.outbox = append(t.outbox, outMsg{at: at, m: m})
+		// Self-cap the window this tile is running: any causal
+		// consequence of this send reaches this tile no sooner than
+		// the arrival plus the destination-to-here lookahead (a relay
+		// through a third tile is never faster — hop distances obey
+		// the triangle inequality). Events before that stay safe to
+		// run, so extended (beyond the round bound) windows cut
+		// themselves off exactly where the conservative contract
+		// requires.
+		t.eng.LimitTo(at + t.wRow[m.Dst])
 	}
 }
 

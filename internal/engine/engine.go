@@ -56,14 +56,34 @@ type Engine struct {
 	now     Cycle
 	seq     uint64
 	events  uint64
+	size    int // queued events right now (all levels)
 	high    int // deepest the queue has ever been
 	useHeap bool
 	heap    heapQueue
 	bq      bucketQueue
 
-	// Cached earliest queued cycle, maintained so the PDES window loop
-	// can take the minimum over many partitions without rescanning the
-	// bucket ring each time. Pops invalidate it; pushes keep it exact.
+	// micro is the zero-delay fast path: a run-to-completion FIFO for
+	// events scheduled at exactly the current cycle. Same-cycle chains
+	// (ScheduleRunner(0, …), gather-free probe replies, directory
+	// activate->process handoffs) append and pop here instead of round-
+	// tripping the bucket ring or heap. Order is preserved exactly:
+	// every event already queued for cycle `now` in the underlying
+	// queue was pushed earlier (now only advances on pops), so it
+	// carries a smaller seq than every micro item and drains first;
+	// micro items then run in push (== seq) order among themselves.
+	micro     []item
+	microHead int
+
+	// limit is the bound of the RunUntil call currently executing, kept
+	// as a field so handlers can lower it mid-window (LimitTo) — the
+	// PDES window loop's dynamic cut-off for extended solo windows.
+	limit Cycle
+
+	// Cached earliest cycle queued in the underlying two-level queue
+	// (the micro FIFO is excluded: its items are always at `now`),
+	// maintained so the PDES window loop can take the minimum over many
+	// partitions without rescanning the bucket ring each time. Pops
+	// invalidate it; pushes keep it exact.
 	peekValid bool
 	peekMin   Cycle
 }
@@ -101,17 +121,80 @@ func (e *Engine) Processed() uint64 { return e.events }
 func (e *Engine) push(it item) {
 	e.seq++
 	it.seq = e.seq
-	if e.useHeap {
-		e.heap.push(it)
+	if it.at == e.now {
+		// Zero-delay fast path: the event is due this very cycle, so it
+		// never needs the two-level queue — it goes on the micro FIFO
+		// and runs after everything already queued for this cycle. The
+		// peekMin cache tracks the underlying queue only, so it is
+		// deliberately NOT updated here.
+		e.micro = append(e.micro, it)
 	} else {
-		e.bq.push(it)
+		if e.useHeap {
+			e.heap.push(it)
+		} else {
+			e.bq.push(it)
+		}
+		if e.peekValid && it.at < e.peekMin {
+			e.peekMin = it.at
+		}
 	}
-	if e.peekValid && it.at < e.peekMin {
-		e.peekMin = it.at
+	e.size++
+	if e.size > e.high {
+		e.high = e.size
 	}
-	if p := e.Pending(); p > e.high {
-		e.high = p
+}
+
+// nextAtNow returns the next event due at the current cycle while the
+// micro FIFO is non-empty, in exact (cycle, seq) order: underlying-
+// queue items at `now` were all scheduled before any micro item (now
+// only advances on pops), so they drain first; popBefore(now+1) probes
+// just the current cycle's bucket (or the heap top), O(1) either way.
+func (e *Engine) nextAtNow() item {
+	var it item
+	var ok bool
+	if e.useHeap {
+		it, ok, _, _ = e.heap.popBefore(e.now + 1)
+	} else {
+		it, ok, _, _ = e.bq.popBefore(e.now + 1)
 	}
+	if !ok {
+		return e.popMicro()
+	}
+	e.peekValid = false
+	return it
+}
+
+// popMicro removes and returns the front of the micro FIFO; callers
+// must have checked it is non-empty.
+func (e *Engine) popMicro() item {
+	it := e.micro[e.microHead]
+	e.micro[e.microHead] = item{}
+	e.microHead++
+	if e.microHead == len(e.micro) {
+		e.micro = e.micro[:0]
+		e.microHead = 0
+	}
+	return it
+}
+
+// peekUnderlying is PeekCycle restricted to the two-level queue,
+// excluding the micro FIFO; it maintains the same cache.
+func (e *Engine) peekUnderlying() (Cycle, bool) {
+	if e.peekValid {
+		return e.peekMin, true
+	}
+	var at Cycle
+	var ok bool
+	if e.useHeap {
+		at, ok = e.heap.peekAt()
+	} else {
+		at, ok = e.bq.peekAt()
+	}
+	if ok {
+		e.peekMin = at
+		e.peekValid = true
+	}
+	return at, ok
 }
 
 // Schedule runs fn delay cycles from now. Events scheduled for the
@@ -149,35 +232,36 @@ func (e *Engine) HighWater() int { return e.high }
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int {
+	n := len(e.micro) - e.microHead
 	if e.useHeap {
-		return len(e.heap.items)
+		return n + len(e.heap.items)
 	}
-	return e.bq.size
+	return n + e.bq.size
 }
 
 // PeekCycle reports the cycle of the earliest queued event without
 // popping it. The result is cached until the next pop, so repeated
 // peeks (the PDES window-minimum scan) cost one comparison.
 func (e *Engine) PeekCycle() (Cycle, bool) {
-	if e.peekValid {
-		return e.peekMin, true
+	if e.microHead < len(e.micro) {
+		return e.now, true
 	}
-	var at Cycle
-	var ok bool
-	if e.useHeap {
-		at, ok = e.heap.peekAt()
-	} else {
-		at, ok = e.bq.peekAt()
-	}
-	if ok {
-		e.peekMin = at
-		e.peekValid = true
-	}
-	return at, ok
+	return e.peekUnderlying()
 }
 
 // Step runs the next event; it reports false when the queue is empty.
 func (e *Engine) Step() bool {
+	if e.microHead < len(e.micro) {
+		it := e.nextAtNow()
+		e.events++
+		e.size--
+		if it.r != nil {
+			it.r.Run()
+		} else {
+			it.fn()
+		}
+		return true
+	}
 	e.peekValid = false
 	var it item
 	var ok bool
@@ -191,6 +275,7 @@ func (e *Engine) Step() bool {
 	}
 	e.now = it.at
 	e.events++
+	e.size--
 	if it.r != nil {
 		it.r.Run()
 	} else {
@@ -203,16 +288,44 @@ func (e *Engine) Step() bool {
 // order, leaving later events queued; now ends at the last event run.
 // This is the PDES window body: events pushed while running (all at
 // cycles >= now) execute in the same call when they land before limit.
+//
+// The bound is kept in a field so an event handler can tighten it
+// mid-call with LimitTo — the window loop's dynamic cut-off when an
+// extended solo window parks a cross-tile message.
 func (e *Engine) RunUntil(limit Cycle) {
+	e.limit = limit
 	for {
+		if e.microHead < len(e.micro) {
+			if e.now >= e.limit {
+				return
+			}
+			it := e.nextAtNow()
+			e.events++
+			e.size--
+			if it.r != nil {
+				it.r.Run()
+			} else {
+				it.fn()
+			}
+			continue
+		}
 		var it item
-		var ok bool
+		var ok, hasNext bool
+		var next Cycle
 		if e.useHeap {
-			it, ok = e.heap.popBefore(limit)
+			it, ok, next, hasNext = e.heap.popBefore(e.limit)
 		} else {
-			it, ok = e.bq.popBefore(limit)
+			it, ok, next, hasNext = e.bq.popBefore(e.limit)
 		}
 		if !ok {
+			// The refusal already found the earliest remaining cycle;
+			// prime the peek cache with it so the window loop's
+			// post-round peek is O(1) instead of a rescan. push keeps
+			// the cache coherent if earlier events arrive afterwards.
+			if hasNext {
+				e.peekMin = next
+				e.peekValid = true
+			}
 			return
 		}
 		// Invalidate lazily, only once something actually popped: a
@@ -221,11 +334,26 @@ func (e *Engine) RunUntil(limit Cycle) {
 		e.peekValid = false
 		e.now = it.at
 		e.events++
+		e.size--
 		if it.r != nil {
 			it.r.Run()
 		} else {
 			it.fn()
 		}
+	}
+}
+
+// LimitTo tightens the bound of the RunUntil call currently executing
+// on this engine: events at cycles >= c stay queued for a later window.
+// It never raises the bound, and never cuts below the cycle in
+// progress (events already due this cycle still run, keeping windows
+// cycle-complete). Callable only from inside an event handler.
+func (e *Engine) LimitTo(c Cycle) {
+	if c <= e.now {
+		c = e.now + 1
+	}
+	if c < e.limit {
+		e.limit = c
 	}
 }
 
@@ -237,7 +365,7 @@ func (e *Engine) RunUntil(limit Cycle) {
 // recycled — callers on error paths can skip it and lose nothing but
 // the reuse.
 func (e *Engine) Recycle() {
-	if e.useHeap || e.bq.size != 0 {
+	if e.useHeap || e.bq.size != 0 || e.microHead < len(e.micro) {
 		return
 	}
 	e.bq.release()

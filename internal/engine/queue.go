@@ -1,6 +1,9 @@
 package engine
 
-import "sync"
+import (
+	"math/bits"
+	"sync"
+)
 
 // This file holds the two queue implementations behind Engine.
 //
@@ -51,11 +54,18 @@ func (h *heapQueue) peekAt() (Cycle, bool) {
 }
 
 // popBefore pops the earliest item only when its cycle is below limit.
-func (h *heapQueue) popBefore(limit Cycle) (item, bool) {
-	if len(h.items) == 0 || h.items[0].at >= limit {
-		return item{}, false
+// On refusal it reports the earliest queued cycle (hasNext false means
+// the queue is empty), so the caller can prime its peek cache without
+// a second scan.
+func (h *heapQueue) popBefore(limit Cycle) (it item, ok bool, next Cycle, hasNext bool) {
+	if len(h.items) == 0 {
+		return item{}, false, 0, false
 	}
-	return h.pop()
+	if at := h.items[0].at; at >= limit {
+		return item{}, false, at, true
+	}
+	it, _ = h.pop()
+	return it, true, 0, false
 }
 
 func (h *heapQueue) siftUp(i int) {
@@ -88,10 +98,11 @@ func (h *heapQueue) siftDown(i int) {
 	}
 }
 
-// bucketBits sizes the near-future window: 4096 cycles comfortably
-// covers every latency the machine model schedules (memory is 300).
+// bucketBits sizes the near-future window: 512 cycles comfortably
+// covers every latency the machine model schedules (memory is 300),
+// and the smaller ring keeps all 16 PDES tile rings cache-resident.
 const (
-	bucketBits = 12
+	bucketBits = 9
 	numBuckets = 1 << bucketBits
 	bucketMask = numBuckets - 1
 )
@@ -107,32 +118,41 @@ type bucket struct {
 
 type bucketQueue struct {
 	buckets []bucket
+	occ     []uint64      // occupancy bitmap: bit b set ⇔ buckets[b] has unpopped items
 	store   *queueStorage // pooled backing for buckets; nil after release
 	start   Cycle         // inclusive lower bound of the window
-	cursor  Cycle         // next cycle to scan for pops; start <= cursor
+	cursor  Cycle         // cycle of the last pop; every queued item is at >= cursor
 	inWin   int           // unpopped items currently in buckets
 	far     heapQueue
 	size    int
 }
 
 // queueStorage is the poolable part of a bucketQueue: the ring itself
-// plus every per-bucket items slice its buckets have grown. A fresh
-// ring costs one 4096-bucket allocation up front and then one lazy
-// slice allocation per distinct active cycle — the fixed per-engine
-// overhead that made PDES (16 tile engines per run) pay ~2.5x the
-// sequential mode's allocations. Recycling the storage across runs
-// makes that a one-time cost per process instead of per run.
+// plus every per-bucket items slice its buckets have grown, plus the
+// occupancy bitmap. A fresh ring costs one 4096-bucket allocation up
+// front and then one lazy slice allocation per distinct active cycle —
+// the fixed per-engine overhead that made PDES (16 tile engines per
+// run) pay ~2.5x the sequential mode's allocations. Recycling the
+// storage across runs makes that a one-time cost per process instead
+// of per run.
 type queueStorage struct {
 	buckets []bucket
+	occ     []uint64
 }
 
 var storagePool = sync.Pool{
-	New: func() any { return &queueStorage{buckets: make([]bucket, numBuckets)} },
+	New: func() any {
+		return &queueStorage{
+			buckets: make([]bucket, numBuckets),
+			occ:     make([]uint64, numBuckets/64),
+		}
+	},
 }
 
 func (q *bucketQueue) init() {
 	q.store = storagePool.Get().(*queueStorage)
 	q.buckets = q.store.buckets
+	q.occ = q.store.occ
 }
 
 // release returns the ring to the shared pool. Callers guarantee the
@@ -148,9 +168,13 @@ func (q *bucketQueue) release() {
 		b.items = b.items[:0]
 		b.head = 0
 	}
+	for i := range q.occ {
+		q.occ[i] = 0
+	}
 	storagePool.Put(q.store)
 	q.store = nil
 	q.buckets = nil
+	q.occ = nil
 }
 
 // push files the item into its cycle's bucket when the cycle falls in
@@ -159,12 +183,58 @@ func (q *bucketQueue) release() {
 func (q *bucketQueue) push(it item) {
 	q.size++
 	if it.at < q.start+numBuckets {
-		b := &q.buckets[it.at&bucketMask]
+		slot := uint64(it.at) & bucketMask
+		b := &q.buckets[slot]
 		b.items = append(b.items, it)
+		q.occ[slot>>6] |= 1 << (slot & 63)
 		q.inWin++
 	} else {
 		q.far.push(it)
 	}
+}
+
+// takeAt pops the front of cycle c's bucket, clearing the occupancy
+// bit and recycling the slice when the cycle drains. Callers guarantee
+// the bucket is non-empty. Nothing can arrive behind a drained cycle
+// (pushes land at >= the last popped cycle), so the reset is final
+// until the ring wraps back around.
+func (q *bucketQueue) takeAt(c Cycle) item {
+	slot := uint64(c) & bucketMask
+	b := &q.buckets[slot]
+	it := b.items[b.head]
+	b.items[b.head] = item{} // release closure/runner references
+	b.head++
+	if b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
+		q.occ[slot>>6] &^= 1 << (slot & 63)
+	}
+	q.inWin--
+	q.size--
+	return it
+}
+
+// nextOccupied reports the earliest non-empty bucket cycle in
+// [from, start+numBuckets), skipping empty buckets a 64-cycle word at
+// a time via the occupancy bitmap instead of probing them one by one.
+func (q *bucketQueue) nextOccupied(from Cycle) (Cycle, bool) {
+	span := uint64(q.start + numBuckets - from) // window cycles left to scan
+	slot := uint64(from) & bucketMask
+	if word := q.occ[slot>>6] >> (slot & 63); word != 0 {
+		if d := uint64(bits.TrailingZeros64(word)); d < span {
+			return from + Cycle(d), true
+		}
+		return 0, false
+	}
+	for covered := 64 - (slot & 63); covered < span; covered += 64 {
+		if word := q.occ[((slot+covered)&bucketMask)>>6]; word != 0 {
+			if d := covered + uint64(bits.TrailingZeros64(word)); d < span {
+				return from + Cycle(d), true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
 }
 
 // pop returns the globally earliest item in (cycle, seq) order.
@@ -173,22 +243,11 @@ func (q *bucketQueue) pop() (item, bool) {
 		return item{}, false
 	}
 	for {
-		for q.inWin > 0 {
-			b := &q.buckets[q.cursor&bucketMask]
-			if b.head < len(b.items) {
-				it := b.items[b.head]
-				b.items[b.head] = item{} // release closure/runner references
-				b.head++
-				q.inWin--
-				q.size--
-				return it, true
-			}
-			// Cycle q.cursor fully drained: recycle the bucket's slice
-			// and move on. New pushes are always >= the popped cycle, so
-			// nothing can arrive behind the cursor.
-			b.items = b.items[:0]
-			b.head = 0
-			q.cursor++
+		if q.inWin > 0 {
+			// inWin > 0 guarantees an occupied bucket in the window.
+			c, _ := q.nextOccupied(q.cursor)
+			q.cursor = c
+			return q.takeAt(c), true
 		}
 		// Window empty: jump to the earliest far-future event and drain
 		// the heap into the new window. Heap pops come out in (cycle,
@@ -213,59 +272,51 @@ func (q *bucketQueue) refill() {
 			return
 		}
 		it, _ := q.far.pop()
-		b := &q.buckets[it.at&bucketMask]
+		slot := uint64(it.at) & bucketMask
+		b := &q.buckets[slot]
 		b.items = append(b.items, it)
+		q.occ[slot>>6] |= 1 << (slot & 63)
 		q.inWin++
 	}
 }
 
 // peekAt reports the earliest queued cycle without mutating the queue.
-// inWin > 0 guarantees a non-empty bucket within the window, so the
-// scan terminates before wrapping.
 func (q *bucketQueue) peekAt() (Cycle, bool) {
 	if q.size == 0 {
 		return 0, false
 	}
 	if q.inWin > 0 {
-		for c := q.cursor; ; c++ {
-			if b := &q.buckets[c&bucketMask]; b.head < len(b.items) {
-				return b.items[b.head].at, true
-			}
-		}
+		c, _ := q.nextOccupied(q.cursor)
+		return c, true
 	}
 	return q.far.peekAt()
 }
 
-// popBefore is pop restricted to cycles below limit. Advancing the
-// cursor past empty buckets up to limit is safe: every push after this
-// call returns lands at >= the caller's limit (the PDES window edge) or
-// comes from an event this queue pops later, at >= its own cycle.
-func (q *bucketQueue) popBefore(limit Cycle) (item, bool) {
+// popBefore is pop restricted to cycles below limit. On refusal it
+// reports the earliest queued cycle (hasNext false means the queue is
+// empty), so the caller can prime its peek cache without a second
+// scan. The cursor is NOT advanced on refusal: later pushes may still
+// land between the last popped cycle and the refused one.
+func (q *bucketQueue) popBefore(limit Cycle) (it item, ok bool, next Cycle, hasNext bool) {
 	if q.size == 0 {
-		return item{}, false
+		return item{}, false, 0, false
 	}
 	for {
-		for q.inWin > 0 && q.cursor < limit {
-			b := &q.buckets[q.cursor&bucketMask]
-			if b.head < len(b.items) {
-				it := b.items[b.head]
-				b.items[b.head] = item{} // release closure/runner references
-				b.head++
-				q.inWin--
-				q.size--
-				return it, true
-			}
-			b.items = b.items[:0]
-			b.head = 0
-			q.cursor++
-		}
 		if q.inWin > 0 {
-			// Every cycle below limit is drained; the rest can wait.
-			return item{}, false
+			c, _ := q.nextOccupied(q.cursor)
+			if c >= limit {
+				// Every cycle below limit is drained; the rest can wait.
+				return item{}, false, c, true
+			}
+			q.cursor = c
+			return q.takeAt(c), true, 0, false
 		}
-		at, ok := q.far.peekAt()
-		if !ok || at >= limit {
-			return item{}, false
+		at, farOK := q.far.peekAt()
+		if !farOK {
+			return item{}, false, 0, false
+		}
+		if at >= limit {
+			return item{}, false, at, true
 		}
 		q.start = at
 		q.cursor = at

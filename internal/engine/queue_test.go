@@ -226,3 +226,115 @@ func TestBucketQueueWindowReuse(t *testing.T) {
 		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
 	}
 }
+
+// TestZeroDelayDifferential stresses the zero-delay micro-FIFO fast
+// path against the reference heap: random event cascades that mix
+// Schedule(0, …) chains (which ride the micro FIFO) with 1-cycle and
+// far-future delays (which round-trip the real queue) must execute in
+// the identical order on both engines. This is the scheduling-order
+// guarantee the fused access events rely on — a zero-delay follow-up
+// runs after everything already queued for the current cycle, in
+// schedule order among its peers, whichever queue backs the engine.
+func TestZeroDelayDifferential(t *testing.T) {
+	run := func(e *Engine, seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		var got []int
+		n := 0
+		var kick func()
+		kick = func() {
+			id := n
+			n++
+			got = append(got, id)
+			if n >= 4000 {
+				return
+			}
+			for i := 0; i < rng.Intn(4); i++ {
+				var delay Cycle
+				switch rng.Intn(5) {
+				case 0, 1: // zero-delay chain: micro-FIFO territory
+					delay = 0
+				case 2: // next cycle: forces a real queue round trip
+					delay = 1
+				case 3: // in-window
+					delay = Cycle(1 + rng.Intn(20))
+				default: // far future, straddling the ring boundary
+					delay = numBuckets - 2 + Cycle(rng.Intn(5))
+				}
+				if rng.Intn(2) == 0 {
+					e.Schedule(delay, kick)
+				} else {
+					e.ScheduleRunner(delay, &kickRunner{kick})
+				}
+			}
+		}
+		for i := 0; i < 30; i++ {
+			e.Schedule(Cycle(rng.Intn(int(numBuckets))), kick)
+		}
+		e.Run(0)
+		return got
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		a := run(NewBucketed(), seed)
+		b := run(NewWithHeap(), seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: bucketed ran %d events, heap ran %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: queues diverge at event %d: %d vs %d", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// kickRunner adapts a closure to the Runner interface so differential
+// tests can exercise both scheduling APIs.
+type kickRunner struct{ fn func() }
+
+func (r *kickRunner) Run() { r.fn() }
+
+// TestSameCycleTieBreakAcrossRingWrap pins the (cycle, seq) tie-break
+// for same-cycle events whose target lies beyond the bucket ring: they
+// detour through the far-future overflow heap and are refilled into a
+// ring window that has wrapped around modulo numBuckets. The refill
+// must hand each bucket its items in seq order — interleaved closures
+// and runners, scheduled from different points in time, all landing on
+// one far cycle — and a neighbour event one full ring period earlier
+// (same slot index, different window) must not perturb them.
+func TestSameCycleTieBreakAcrossRingWrap(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		newE func() *Engine
+	}{{"bucketed", NewBucketed}, {"heap", NewWithHeap}} {
+		t.Run(mk.name, func(t *testing.T) {
+			e := mk.newE()
+			const target = Cycle(numBuckets*3 + 5) // well past two wraps
+			var got []int
+			// Same slot index as target, two ring periods earlier: drains
+			// first and forces the window to jump (wrap) before target.
+			e.ScheduleAt(target-numBuckets*2, func() {
+				got = append(got, -1)
+				// Late joiners scheduled mid-run, after some peers are
+				// already in the far heap: seq order must still win.
+				e.ScheduleAt(target, func() { got = append(got, 2) })
+				e.ScheduleRunnerAt(target, &testRunner{3, &got})
+			})
+			e.ScheduleAt(target, func() { got = append(got, 0) })
+			e.ScheduleRunnerAt(target, &testRunner{1, &got})
+			e.ScheduleAt(target+1, func() { got = append(got, 4) })
+			e.Run(0)
+			want := []int{-1, 0, 1, 2, 3, 4}
+			if len(got) != len(want) {
+				t.Fatalf("fired %v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("fired %v, want %v", got, want)
+				}
+			}
+			if e.Now() != target+1 {
+				t.Fatalf("ended at cycle %d, want %d", e.Now(), target+1)
+			}
+		})
+	}
+}

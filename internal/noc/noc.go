@@ -237,6 +237,19 @@ func (m *Mesh) Lookahead() engine.Cycle {
 	return m.cfg.RouterLat + m.cfg.HopLatency
 }
 
+// LookaheadBetween is the per-pair refinement of Lookahead: no message
+// from src to dst can arrive sooner than this many core cycles after
+// it was sent, because the route costs at least RouterLat plus one
+// HopLatency per hop of the topology's shortest path. Hop distances
+// are metrics (symmetric, triangle inequality) on every topology, so
+// relayed causality is never faster than the direct pair bound:
+// LookaheadBetween(a,b) + LookaheadBetween(b,c) >= LookaheadBetween(a,c).
+// The PDES window loop uses the full pair matrix to give distant tiles
+// wider windows than the uniform worst case allows.
+func (m *Mesh) LookaheadBetween(src, dst int) engine.Cycle {
+	return m.cfg.RouterLat + engine.Cycle(m.Hops(src, dst))*m.cfg.HopLatency
+}
+
 // Send delivers a message of the given byte size from src to dst on
 // virtual network vnet, invoking deliver when it arrives. Deliveries
 // on the same (src, dst, vnet) channel never reorder. Flit-hop and

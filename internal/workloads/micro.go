@@ -53,6 +53,11 @@ func init() {
 		gen:   genTicketLock,
 	})
 	registerMicro(Spec{
+		Name: "micro-barrier-skew", Models: "fork-join straggler phases", Suite: "micro",
+		About: "frequent barriers with one rotating straggler per phase: most cores idle at the barrier while one runs far ahead",
+		gen:   genBarrierSkew,
+	})
+	registerMicro(Spec{
 		Name: "micro-producer-consumer", Models: "flag handoff", Suite: "micro",
 		About: "core pairs hand a 4-word payload through a flag word",
 		gen:   genProducerConsumer,
@@ -99,6 +104,38 @@ func genTicketLock(b *builder) {
 			// Release: bump now-serving.
 			b.recs[c] = append(b.recs[c], trace.Access{Kind: trace.RMW, Addr: serving, PC: 0x31040, Think: 1})
 		}
+	}
+}
+
+// genBarrierSkew: a fork-join loop whose phases are deliberately
+// lopsided — every phase, one rotating straggler core does ~30x the
+// work of its siblings, and a shared phase counter forces real
+// coherence traffic across the join. The interesting consumer is the
+// PDES window loop: fifteen tiles hit the barrier almost immediately
+// and drain their queues, so the straggler must be driven through
+// extended (window-skipping) solo rounds, the idle tiles must stay
+// off the worker crew, and the barrier release must pick the same
+// deterministic resume cycle whatever the worker count.
+func genBarrierSkew(b *builder) {
+	phases := 40 * b.scale
+	for ph := 0; ph < phases; ph++ {
+		straggler := ph % b.cores
+		counter := word(arena0, ph%8)
+		for c := 0; c < b.cores; c++ {
+			n := 2
+			if c == straggler {
+				n = 64
+			}
+			base := arena1 + mem.Addr(c)<<12
+			for i := 0; i < n; i++ {
+				b.load(c, word(base, (ph*n+i)%64), 0x33000, uint16(1+(c+i)%4))
+			}
+			// Everyone bumps the shared phase counter before the join,
+			// so the straggler's long tail overlaps its siblings'
+			// coherence traffic on the way in.
+			b.recs[c] = append(b.recs[c], trace.Access{Kind: trace.RMW, Addr: counter, PC: 0x33010, Think: 1})
+		}
+		b.barrier()
 	}
 }
 

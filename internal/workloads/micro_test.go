@@ -8,8 +8,8 @@ import (
 
 func TestMicroRegistry(t *testing.T) {
 	names := MicroNames()
-	if len(names) != 3 {
-		t.Fatalf("micros = %v, want 3", names)
+	if len(names) != 4 {
+		t.Fatalf("micros = %v, want 4", names)
 	}
 	for _, n := range names {
 		s, err := Get(n)
@@ -72,6 +72,57 @@ func TestTicketLockShape(t *testing.T) {
 	// 4 CS stores.
 	if rmws != 2*60 || loads != 7*60 || stores != 4*60 {
 		t.Errorf("shape = %d RMW / %d loads / %d stores", rmws, loads, stores)
+	}
+}
+
+func TestBarrierSkewShape(t *testing.T) {
+	streams := MustGet("micro-barrier-skew").Streams(4, 1)
+	recs := make([][]trace.Access, len(streams))
+	for c := range streams {
+		recs[c] = drain(streams[c])
+	}
+	// Every core sees the same number of barriers (one per phase).
+	barriers := 0
+	for _, a := range recs[0] {
+		if a.Kind == trace.Barrier {
+			barriers++
+		}
+	}
+	if barriers != 40 {
+		t.Fatalf("core 0 barriers = %d, want 40", barriers)
+	}
+	for c := 1; c < len(recs); c++ {
+		n := 0
+		for _, a := range recs[c] {
+			if a.Kind == trace.Barrier {
+				n++
+			}
+		}
+		if n != barriers {
+			t.Fatalf("core %d barriers = %d, core 0 = %d", c, n, barriers)
+		}
+	}
+	// The straggler rotates, so over 40 phases on 4 cores every core is
+	// the straggler 10 times: per-core totals are equal, but any single
+	// phase is lopsided. Check phase 0: core 0 runs 64+1 accesses
+	// before its first barrier, everyone else 2+1.
+	firstPhase := func(c int) int {
+		n := 0
+		for _, a := range recs[c] {
+			if a.Kind == trace.Barrier {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	if got := firstPhase(0); got != 65 {
+		t.Errorf("straggler phase-0 accesses = %d, want 65", got)
+	}
+	for c := 1; c < 4; c++ {
+		if got := firstPhase(c); got != 3 {
+			t.Errorf("idle core %d phase-0 accesses = %d, want 3", c, got)
+		}
 	}
 }
 
