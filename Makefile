@@ -13,7 +13,7 @@ verify:
 	go test ./...
 	go test -race ./internal/runner ./internal/engine ./internal/resultcache
 	go test -race ./internal/core ./internal/cache
-	go test -race ./internal/obs
+	go test -race ./internal/obs ./internal/obs/attrib ./internal/obs/selfprof
 	go test -run '^$$' -bench SimulatorThroughput -benchtime 1x .
 	$(MAKE) obs-smoke
 	$(MAKE) pdes-smoke
@@ -146,4 +146,20 @@ bench-compare:
 		$(if $(BENCH_OUT),-out "$(BENCH_OUT)") \
 		-change "$(BENCH_CHANGE)" < $$d/bench.txt
 
-.PHONY: verify bench bench-compare trace-smoke obs-smoke pdes-smoke cache-smoke
+# bench-gate is the CI perf-regression gate: a shorter benchmark pass
+# (median-of-3 at 1s) diffed against the latest committed BENCH_*.json
+# with a tolerance band. It exits non-zero when median throughput falls
+# more than BENCH_GATE_TOL percent below the baseline and writes no
+# snapshot — informational on PRs (the CI job is non-blocking, so noisy
+# runners can't flake tier-1), and a local pre-push check after
+# hot-path changes.
+BENCH_GATE_TOL ?= 15
+bench-gate:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	go build -o $$d/protozoa-benchdiff ./cmd/protozoa-benchdiff; \
+	go test -run '^$$' -bench SimulatorThroughputParallel \
+		-benchtime 1s -count 3 . | tee $$d/bench.txt; \
+	$$d/protozoa-benchdiff -baseline "$(BENCH_BASELINE)" \
+		-gate $(BENCH_GATE_TOL) < $$d/bench.txt
+
+.PHONY: verify bench bench-compare bench-gate trace-smoke obs-smoke pdes-smoke cache-smoke

@@ -330,6 +330,68 @@ func TestCLIs(t *testing.T) {
 		waitEndpointDown(t, addr)
 	})
 
+	t.Run("version", func(t *testing.T) {
+		for _, tool := range []string{"protozoa-sim", "protozoa-sweep", "protozoa-figs",
+			"protozoa-table1", "protozoa-verify"} {
+			out := run(t, bin(tool), "-version")
+			if !strings.Contains(out, "result-cache schema v") || !strings.Contains(out, "code stamp:") {
+				t.Errorf("%s -version output:\n%s", tool, out)
+			}
+		}
+	})
+
+	t.Run("sim-self-prof", func(t *testing.T) {
+		args := []string{"-workload", "histogram", "-cores", "4", "-scale", "1", "-workers", "2"}
+		spOut := filepath.Join(dir, "selfprof.json")
+		spTrace := filepath.Join(dir, "selfprof-trace.json")
+		cmd := exec.Command(bin("protozoa-sim"), append(args,
+			"-self-prof", "-self-prof-out", spOut, "-self-prof-trace", spTrace)...)
+		var stdout, stderr strings.Builder
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("sim -self-prof: %v\n%s", err, stderr.String())
+		}
+		for _, want := range []string{"self-profile (pdes", "rounds", "queue:"} {
+			if !strings.Contains(stderr.String(), want) {
+				t.Errorf("self-prof summary missing %q:\n%s", want, stderr.String())
+			}
+		}
+		var report struct {
+			Mode   string `json:"mode"`
+			Rounds uint64 `json:"rounds"`
+			Tiles  []json.RawMessage `json:"tiles"`
+		}
+		data, err := os.ReadFile(spOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &report); err != nil || report.Mode != "pdes" ||
+			report.Rounds == 0 || len(report.Tiles) != 4 {
+			t.Errorf("-self-prof-out report (%v): mode=%q rounds=%d tiles=%d",
+				err, report.Mode, report.Rounds, len(report.Tiles))
+		}
+		var meta struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		data, err = os.ReadFile(spTrace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &meta); err != nil || len(meta.TraceEvents) == 0 {
+			t.Errorf("-self-prof-trace (%v, %d events)", err, len(meta.TraceEvents))
+		}
+		// The measurement report on stdout must be byte-identical with
+		// the profiler off.
+		plain := exec.Command(bin("protozoa-sim"), args...)
+		base, err := plain.Output()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stdout.String() != string(base) {
+			t.Error("-self-prof changed the stdout report")
+		}
+	})
+
 	t.Run("report", func(t *testing.T) {
 		out := run(t, bin("protozoa-report"), "-cores", "4", "-scale", "1", "-workloads", "swaptions")
 		if !strings.Contains(out, "# Protozoa reproduction report") ||

@@ -159,11 +159,60 @@ func pctDelta(old, new float64) string {
 	return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
 }
 
+// gateFailures evaluates the perf-regression gate: each benchmark
+// present in both runs is compared on throughput (accesses_per_s,
+// higher is better), falling back to ns_per_op (lower is better) when
+// the baseline predates the throughput metric. A benchmark fails when
+// it is worse than the baseline median by more than tolPct percent;
+// improvements and within-band noise pass. The returned messages are
+// the failures — empty means the gate is green.
+func gateFailures(base, medians map[string]map[string]float64, tolPct float64) []string {
+	var names []string
+	for name := range medians {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var fails []string
+	checked := 0
+	for _, name := range names {
+		nv, ov := medians[name], base[name]
+		if n, o := nv["accesses_per_s"], ov["accesses_per_s"]; n > 0 && o > 0 {
+			checked++
+			if n < o*(1-tolPct/100) {
+				fails = append(fails, fmt.Sprintf(
+					"%s: accesses_per_s %.0f -> %.0f (%.1f%% below baseline, tolerance %.0f%%)",
+					name, o, n, 100*(o-n)/o, tolPct))
+			}
+			continue
+		}
+		if n, o := nv["ns_per_op"], ov["ns_per_op"]; n > 0 && o > 0 {
+			checked++
+			if n > o*(1+tolPct/100) {
+				fails = append(fails, fmt.Sprintf(
+					"%s: ns_per_op %.0f -> %.0f (%.1f%% above baseline, tolerance %.0f%%)",
+					name, o, n, 100*(n-o)/o, tolPct))
+			}
+		}
+	}
+	if checked == 0 {
+		fails = append(fails, "no comparable benchmarks between the baseline and this run")
+	}
+	return fails
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to diff against (optional)")
 	out := flag.String("out", "", "snapshot to write (default: baseline's number + 1)")
 	change := flag.String("change", "", "one-line description recorded in the snapshot")
+	gate := flag.Float64("gate", 0, "perf-regression gate: exit 1 when throughput is worse than the baseline median by more than this percent; requires -baseline, writes no snapshot unless -out is set")
 	flag.Parse()
+
+	if *gate > 0 && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "protozoa-benchdiff: -gate requires -baseline")
+		os.Exit(1)
+	}
 
 	var lines []string
 	sc := bufio.NewScanner(os.Stdin)
@@ -230,6 +279,22 @@ func main() {
 		}
 	}
 	w.Flush()
+
+	if *gate > 0 {
+		fails := gateFailures(base, medians, *gate)
+		if len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "protozoa-benchdiff: GATE FAIL:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("gate OK: within %.0f%% of %s\n", *gate, *baseline)
+		// The gate is a read-only CI check; it emits a snapshot only on
+		// explicit request.
+		if *out == "" {
+			return
+		}
+	}
 
 	outPath := *out
 	if outPath == "" {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -75,6 +76,80 @@ func TestFindBaselines(t *testing.T) {
 	if got := base["workers1"]["ns_per_op"]; got != 96017699 {
 		t.Errorf("workers1 ns_per_op = %v, want 96017699", got)
 	}
+}
+
+func gateMetrics(accessesPerS, nsPerOp float64) map[string]float64 {
+	m := map[string]float64{}
+	if accessesPerS > 0 {
+		m["accesses_per_s"] = accessesPerS
+	}
+	if nsPerOp > 0 {
+		m["ns_per_op"] = nsPerOp
+	}
+	return m
+}
+
+func TestGateFailures(t *testing.T) {
+	base := map[string]map[string]float64{
+		"sequential": gateMetrics(1_000_000, 40_000_000),
+		"workers4":   gateMetrics(2_000_000, 20_000_000),
+	}
+
+	t.Run("within-band passes", func(t *testing.T) {
+		got := gateFailures(base, map[string]map[string]float64{
+			"sequential": gateMetrics(950_000, 42_000_000), // -5% throughput
+			"workers4":   gateMetrics(2_500_000, 16_000_000),
+		}, 10)
+		if len(got) != 0 {
+			t.Errorf("unexpected failures: %v", got)
+		}
+	})
+
+	t.Run("throughput drop beyond band fails", func(t *testing.T) {
+		got := gateFailures(base, map[string]map[string]float64{
+			"sequential": gateMetrics(800_000, 50_000_000), // -20%
+			"workers4":   gateMetrics(2_000_000, 20_000_000),
+		}, 10)
+		if len(got) != 1 || !strings.Contains(got[0], "sequential") ||
+			!strings.Contains(got[0], "accesses_per_s") {
+			t.Errorf("failures = %v", got)
+		}
+	})
+
+	t.Run("falls back to ns_per_op", func(t *testing.T) {
+		old := map[string]map[string]float64{"sequential": gateMetrics(0, 40_000_000)}
+		got := gateFailures(old, map[string]map[string]float64{
+			"sequential": gateMetrics(900_000, 50_000_000), // +25% ns/op
+		}, 10)
+		if len(got) != 1 || !strings.Contains(got[0], "ns_per_op") {
+			t.Errorf("failures = %v", got)
+		}
+		got = gateFailures(old, map[string]map[string]float64{
+			"sequential": gateMetrics(900_000, 41_000_000), // +2.5% ns/op
+		}, 10)
+		if len(got) != 0 {
+			t.Errorf("unexpected failures: %v", got)
+		}
+	})
+
+	t.Run("benchmarks absent from the baseline are skipped", func(t *testing.T) {
+		got := gateFailures(base, map[string]map[string]float64{
+			"sequential": gateMetrics(1_000_000, 40_000_000),
+			"workers16":  gateMetrics(1, 1_000_000_000), // new benchmark, no baseline
+		}, 10)
+		if len(got) != 0 {
+			t.Errorf("unexpected failures: %v", got)
+		}
+	})
+
+	t.Run("nothing comparable fails closed", func(t *testing.T) {
+		got := gateFailures(base, map[string]map[string]float64{
+			"renamed": gateMetrics(1_000_000, 40_000_000),
+		}, 10)
+		if len(got) != 1 || !strings.Contains(got[0], "no comparable") {
+			t.Errorf("failures = %v", got)
+		}
+	})
 }
 
 func TestNextOutName(t *testing.T) {

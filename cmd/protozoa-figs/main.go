@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"protozoa"
+	"protozoa/internal/runner"
 )
 
 func main() {
@@ -31,8 +32,13 @@ func main() {
 	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
 	cacheOn := flag.Bool("cache", true, "memoize matrix cells in the in-process result cache")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory; warm re-runs resume from it")
+	version := flag.Bool("version", false, "print build provenance (result-cache schema and code stamp) and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(runner.VersionString())
+		return
+	}
 	if *fig != 0 && (*fig < 9 || *fig > 16) {
 		fmt.Fprintln(os.Stderr, "protozoa-figs: -fig must be 9..16 (or 0 for all; 16 = miss classification)")
 		os.Exit(1)

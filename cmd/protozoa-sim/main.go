@@ -53,10 +53,18 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the sampled metrics registry as JSON to this file")
 	attribOut := flag.Bool("attrib", false, "print the traffic-attribution report (utilization, sharing patterns, top offenders)")
 	serve := flag.String("serve", "", "serve live Prometheus metrics at this address (e.g. 127.0.0.1:8080) for the run's duration")
+	selfProf := flag.Bool("self-prof", false, "profile the simulator itself (PDES rounds, queue introspection); summary to stderr, results unchanged")
+	selfProfOut := flag.String("self-prof-out", "", "write the self-profile report as JSON to this file (implies -self-prof)")
+	selfProfTrace := flag.String("self-prof-trace", "", "write the self-profile's wall-clock round spans as Chrome trace JSON to this file (implies -self-prof)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	version := flag.Bool("version", false, "print build provenance (result-cache schema and code stamp) and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(runner.VersionString())
+		return
+	}
 	if *list {
 		fmt.Printf("%-24s %-18s %-11s %s\n", "name", "models", "suite", "signature")
 		for _, w := range protozoa.Workloads() {
@@ -78,10 +86,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "protozoa-sim:", err)
 		os.Exit(1)
 	}
-	if *msglog > 0 || *timeline > 0 || *traceOut != "" || *metricsOut != "" || *attribOut || *serve != "" {
+	doSelfProf := *selfProf || *selfProfOut != "" || *selfProfTrace != ""
+	if *msglog > 0 || *timeline > 0 || *traceOut != "" || *metricsOut != "" || *attribOut || *serve != "" || doSelfProf {
 		err := runInstrumented(*workload, p, *cores, *scale, *workers, *msglog, *timeline, instrumentOut{
 			traceOut: *traceOut, traceCap: *traceCap, metricsOut: *metricsOut,
 			attrib: *attribOut, serve: *serve,
+			selfProf: doSelfProf, selfProfOut: *selfProfOut, selfProfTrace: *selfProfTrace,
 		})
 		if perr := stopProfiles(); err == nil {
 			err = perr
@@ -114,11 +124,14 @@ func main() {
 
 // instrumentOut carries the observability output destinations.
 type instrumentOut struct {
-	traceOut   string
-	traceCap   int
-	metricsOut string
-	attrib     bool
-	serve      string
+	traceOut      string
+	traceCap      int
+	metricsOut    string
+	attrib        bool
+	serve         string
+	selfProf      bool
+	selfProfOut   string
+	selfProfTrace string
 }
 
 // runInstrumented builds the system directly so protocol transcripts,
@@ -151,6 +164,9 @@ func runInstrumented(workload string, p protozoa.Protocol, cores, scale, workers
 	}
 	if out.attrib {
 		sys.EnableAttribution()
+	}
+	if out.selfProf {
+		sys.EnableSelfProf()
 	}
 	if out.serve != "" {
 		// The endpoint exposes the attribution gauges, so arm the
@@ -186,6 +202,24 @@ func runInstrumented(workload string, p protozoa.Protocol, cores, scale, workers
 	if out.metricsOut != "" {
 		if err := writeTo(out.metricsOut, sys.Metrics().WriteJSON); err != nil {
 			return err
+		}
+	}
+	if out.selfProf {
+		report := sys.SelfProf().Report()
+		// The summary goes to stderr so the measurement report on
+		// stdout stays byte-identical with the flag off.
+		report.WriteSummary(os.Stderr)
+		if out.selfProfOut != "" {
+			if err := writeTo(out.selfProfOut, report.WriteJSON); err != nil {
+				return err
+			}
+		}
+		if out.selfProfTrace != "" {
+			// The meta-trace is wall-clock simulator time; it never mixes
+			// into the simulated machine's -trace-out file.
+			if err := writeTo(out.selfProfTrace, sys.SelfProf().WriteChromeTrace); err != nil {
+				return err
+			}
 		}
 	}
 	fmt.Print(harness.RenderStats(workload, core.Protocol(p), sys.Stats()))

@@ -19,7 +19,9 @@ import (
 	"runtime"
 	"strings"
 
+	"protozoa/internal/core"
 	"protozoa/internal/obs"
+	"protozoa/internal/obs/selfprof"
 	"protozoa/internal/resultcache"
 	"protozoa/internal/runner"
 )
@@ -38,10 +40,16 @@ func main() {
 	cacheOn := flag.Bool("cache", true, "memoize cells in the in-process result cache (identical cells simulate once)")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory; warm re-runs and interrupted sweeps resume from it")
 	serve := flag.String("serve", "", "serve live sweep-progress metrics at this address (e.g. 127.0.0.1:8080) for the grid's duration")
+	selfProf := flag.Bool("self-prof", false, "profile the simulator across the grid; aggregate summary to stderr, CSV unchanged (cached cells contribute nothing)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	version := flag.Bool("version", false, "print build provenance (result-cache schema and code stamp) and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(runner.VersionString())
+		return
+	}
 	stopProfiles, err := runner.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fail(err)
@@ -74,6 +82,18 @@ func main() {
 		fail(err)
 	}
 
+	var profc *selfprof.Collector
+	if *selfProf {
+		// Self-profiling is invisible to the result cache: cached cells
+		// never run AfterRun, so the rollup covers simulated work only
+		// and the CSV stays byte-identical either way.
+		profc = &selfprof.Collector{}
+		for i := range cells {
+			cells[i].Observe = func(sys *core.System) { sys.EnableSelfProf() }
+			cells[i].AfterRun = func(sys *core.System) { profc.Add(sys.SelfProf().Report()) }
+		}
+	}
+
 	pool := runner.Pool{Jobs: *jobs}
 	if *progress {
 		pool.Progress = os.Stderr
@@ -102,6 +122,9 @@ func main() {
 	}
 	if err := stopProfiles(); err != nil {
 		fail(err)
+	}
+	if profc != nil {
+		profc.WriteSummary(os.Stderr)
 	}
 	for _, r := range results {
 		if r.Err != nil {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"protozoa"
+	"protozoa/internal/runner"
 )
 
 func main() {
@@ -26,7 +27,13 @@ func main() {
 	progress := flag.Bool("progress", false, "stream per-cell wall-time/event-count lines and a summary to stderr")
 	cacheOn := flag.Bool("cache", true, "memoize sweep cells in the in-process result cache")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory; warm re-runs resume from it")
+	version := flag.Bool("version", false, "print build provenance (result-cache schema and code stamp) and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(runner.VersionString())
+		return
+	}
 
 	o := protozoa.Options{Cores: *cores, Scale: *scale, TraceSeed: *seed, Jobs: *jobs}
 	if *progress {

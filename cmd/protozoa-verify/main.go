@@ -41,8 +41,13 @@ func main() {
 	progress := flag.Bool("progress", false, "stream per-protocol wall-time/event-count lines and a summary to stderr")
 	cacheOn := flag.Bool("cache", true, "memoize runs in the in-process result cache")
 	cacheDir := flag.String("cache-dir", "", "persistent result-cache directory (repeat verifications replay the stored checker outcome)")
+	version := flag.Bool("version", false, "print build provenance (result-cache schema and code stamp) and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(runner.VersionString())
+		return
+	}
 	ps, err := runner.ParseProtocols(*proto)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "protozoa-verify:", err)

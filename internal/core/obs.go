@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"protozoa/internal/obs"
 	"protozoa/internal/obs/attrib"
+	"protozoa/internal/obs/selfprof"
 )
 
 // This file wires the internal/obs observability layer into the
@@ -88,6 +90,65 @@ func (s *System) EnableAttribution() *attrib.Tracker {
 // Attribution returns the attached tracker, nil when disabled.
 func (s *System) Attribution() *attrib.Tracker { return s.attrib }
 
+// EnableSelfProf attaches the simulator self-profiling layer
+// (internal/obs/selfprof): PDES round/window telemetry, per-tile
+// busy/idle accounting, wall-clock round spans, barrier-wait timing,
+// and engine queue introspection. Call before Run; read the returned
+// profile only after Run. Results are unaffected — the layer observes
+// the simulator, never the simulated machine, so stats, traces, and
+// CSV output are byte-identical with it on or off.
+// In sequential mode (Workers == 0) the round telemetry is empty and
+// the profile carries the shared engine's queue counters only.
+func (s *System) EnableSelfProf() *selfprof.Profile {
+	if s.selfProf != nil {
+		return s.selfProf
+	}
+	if s.pdes {
+		workers := s.cfg.Workers
+		if workers > len(s.tiles) {
+			workers = len(s.tiles)
+		}
+		p := selfprof.New(len(s.tiles), workers, 0)
+		p.Mode = "pdes"
+		p.LookaheadW = uint64(s.mesh.Lookahead())
+		for i, t := range s.tiles {
+			t.prof = &p.Tiles[i]
+			t.eng.SetProf(&p.Tiles[i].Queue)
+		}
+		s.selfProf = p
+	} else {
+		p := selfprof.New(1, 0, 0)
+		p.Mode = "sequential"
+		s.eng.SetProf(&p.Tiles[0].Queue)
+		s.selfProf = p
+	}
+	return s.selfProf
+}
+
+// SelfProf returns the attached self-profile, nil when disabled.
+func (s *System) SelfProf() *selfprof.Profile { return s.selfProf }
+
+// finishSelfProf stamps the end-of-run fields readers expect: per-tile
+// zero-delay hit counts (kept in the engine, not the shard), the
+// machine-wide event total, and total wall-clock. Called from both
+// run modes after the final merge; no-op when self-prof is disabled.
+func (s *System) finishSelfProf() {
+	p := s.selfProf
+	if p == nil {
+		return
+	}
+	if s.pdes {
+		for i, t := range s.tiles {
+			p.Tiles[i].MicroHits = t.eng.MicroHits()
+		}
+	} else {
+		p.Tiles[0].MicroHits = s.eng.MicroHits()
+		p.Tiles[0].Events = s.eng.Processed()
+	}
+	p.TotalEvents = s.EventsProcessed()
+	p.TotalNs = int64(time.Since(p.Start))
+}
+
 // SetSampleHook installs a callback invoked after every timeline
 // tick's metrics sample — the live-metrics publish point. Timeline
 // sampling is armed at its default interval if not yet configured.
@@ -112,6 +173,8 @@ func (s *System) EnableMetrics() *obs.Registry {
 		func() float64 { return float64(s.queuePending()) })
 	r.Register("event_queue_high_water", "deepest the engine queue has been",
 		func() float64 { return float64(s.queueHighWater()) })
+	r.Register("event_queue_zero_delay_hits", "events that rode the zero-delay fast path",
+		func() float64 { return float64(s.queueZeroDelayHits()) })
 	r.Register("msg_pool_hit_rate", "fraction of messages served from the free list",
 		func() float64 {
 			hits, allocs := s.poolCounts()
@@ -207,6 +270,59 @@ func (s *System) EnableMetrics() *obs.Registry {
 				return 0
 			}
 			return float64(s.attrib.FalseSharedRegions())
+		})
+	// Self-profiling gauges read 0 until EnableSelfProf runs. They are
+	// sampled at round edges (the PDES timeline tick), inside the
+	// window loop's happens-before chain, so the shard reads are safe.
+	r.Register("selfprof_rounds", "PDES window-loop rounds completed (self-prof)",
+		func() float64 {
+			if s.selfProf == nil {
+				return 0
+			}
+			return float64(s.selfProf.Rounds)
+		})
+	r.Register("selfprof_inline_rounds", "rounds run without dispatching the worker crew (self-prof)",
+		func() float64 {
+			if s.selfProf == nil {
+				return 0
+			}
+			return float64(s.selfProf.InlineRounds)
+		})
+	r.Register("selfprof_solo_extended_rounds", "rounds whose minimum tile ran an extended window (self-prof)",
+		func() float64 {
+			if s.selfProf == nil {
+				return 0
+			}
+			return float64(s.selfProf.SoloExtendedRounds)
+		})
+	r.Register("selfprof_injected_msgs", "cross-tile messages injected at round barriers (self-prof)",
+		func() float64 {
+			if s.selfProf == nil {
+				return 0
+			}
+			return float64(s.selfProf.InjectedMsgs)
+		})
+	r.Register("selfprof_limit_cuts", "engine window self-caps via LimitTo across tiles (self-prof)",
+		func() float64 {
+			if s.selfProf == nil {
+				return 0
+			}
+			var n uint64
+			for i := range s.selfProf.Tiles {
+				n += s.selfProf.Tiles[i].Queue.LimitCuts
+			}
+			return float64(n)
+		})
+	r.Register("selfprof_refusals", "bounded runs stopped by the window edge with work queued (self-prof)",
+		func() float64 {
+			if s.selfProf == nil {
+				return 0
+			}
+			var n uint64
+			for i := range s.selfProf.Tiles {
+				n += s.selfProf.Tiles[i].Queue.Refusals
+			}
+			return float64(n)
 		})
 	s.metrics = r
 	if s.timelineInterval == 0 {

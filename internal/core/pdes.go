@@ -8,9 +8,11 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"protozoa/internal/engine"
 	"protozoa/internal/obs"
+	"protozoa/internal/obs/selfprof"
 	"protozoa/internal/stats"
 )
 
@@ -66,7 +68,7 @@ func (s *System) runPDES() error {
 	if workers > len(s.tiles) {
 		workers = len(s.tiles)
 	}
-	pool := newPDESPool(workers)
+	pool := newPDESPool(workers, s.selfProf)
 	defer pool.stop()
 
 	if s.timelineInterval > 0 {
@@ -105,8 +107,21 @@ func (s *System) runPDES() error {
 	}
 	s.lastRetire = last
 	s.flushResidual()
+	var mergeStart time.Time
+	if s.selfProf != nil {
+		mergeStart = time.Now()
+	}
 	s.mergePDES()
+	if s.selfProf != nil {
+		s.selfProf.MergeNs += int64(time.Since(mergeStart))
+	}
 	s.st.ExecCycles = uint64(last)
+	// Self-observability counters are set after the shard merge (which
+	// rebuilds s.st from zero) and regardless of self-prof, so the
+	// stats are byte-identical with the profiler on or off.
+	s.st.EventQueueHighWater = uint64(s.queueHighWater())
+	s.st.ZeroDelayHits = s.queueZeroDelayHits()
+	s.finishSelfProf()
 	// Clean finish: every tile queue is drained (the window loop broke
 	// on "no queued event anywhere"), so hand the bucket rings back to
 	// the engine's storage pool for the next run. Error paths skip this
@@ -140,6 +155,16 @@ func (s *System) windowLoop(pool *pdesPool) error {
 	}
 	arrived, done := 0, 0
 
+	// Self-profiling (EnableSelfProf). Every telemetry site below
+	// guards on this one pointer, so the disabled loop pays a handful
+	// of predictable branches per round and zero clock reads.
+	prof := s.selfProf
+	var loopStart, roundStart time.Time
+	var lastEvents uint64
+	if prof != nil {
+		loopStart = time.Now()
+	}
+
 	// simNow is the deterministic high-water mark of executed cycles:
 	// the max of every tile's clock across all completed rounds. It is
 	// a function of the tiles' event histories only (bounds derive from
@@ -168,6 +193,9 @@ func (s *System) windowLoop(pool *pdesPool) error {
 				}
 			}
 			arrived = 0
+			if prof != nil {
+				prof.BarrierReleases++
+			}
 		}
 
 		// One pass over the peek array finds the earliest queued cycle
@@ -187,6 +215,10 @@ func (s *System) windowLoop(pool *pdesPool) error {
 		if minIdx < 0 {
 			break // every queue drained: the machine is done
 		}
+		if prof != nil {
+			prof.Rounds++
+			roundStart = time.Now()
+		}
 
 		// Per-tile bounds. Ordinary tiles may run below min1+W (nothing
 		// can reach them earlier). The minimum tile is bounded by the
@@ -201,6 +233,13 @@ func (s *System) windowLoop(pool *pdesPool) error {
 		boundOthers := min1 + W
 		for i, p := range peeks {
 			if p >= boundOthers {
+				if prof != nil {
+					ts := &prof.Tiles[i]
+					ts.IdleRounds++
+					if p != noWork {
+						ts.SkippedWithWork++
+					}
+				}
 				continue
 			}
 			t := s.tiles[i]
@@ -211,16 +250,39 @@ func (s *System) windowLoop(pool *pdesPool) error {
 				if min2 != noWork && min2+W < t.bound {
 					t.bound = min2 + W
 				}
+				if prof != nil {
+					prof.Width.Observe(uint64(t.bound - min1))
+					if t.bound > boundOthers {
+						prof.SoloExtendedRounds++
+					}
+				}
+			}
+			if prof != nil {
+				ts := &prof.Tiles[i]
+				ts.BusyRounds++
+				// The round number rides the epoch release into the
+				// worker that stamps this tile's span.
+				ts.CurRound = prof.Rounds
 			}
 			active = append(active, t)
 		}
 
+		var runStart time.Time
+		if prof != nil {
+			runStart = time.Now()
+		}
 		if pool == nil || len(active) == 1 {
+			if prof != nil {
+				prof.InlineRounds++
+			}
 			for _, t := range active {
-				t.eng.RunUntil(t.bound)
+				t.runWindow()
 			}
 		} else {
 			pool.run(active)
+		}
+		if prof != nil {
+			prof.RunNs += int64(time.Since(runStart))
 		}
 
 		// Post-round pass over the tiles that ran (only they can have
@@ -241,6 +303,9 @@ func (s *System) windowLoop(pool *pdesPool) error {
 					peeks[om.m.Dst] = om.at
 				}
 			}
+			if prof != nil {
+				prof.InjectedMsgs += uint64(len(t.outbox))
+			}
 			t.outbox = t.outbox[:0]
 			peeks[t.id] = noWork
 			if at, ok := t.eng.PeekCycle(); ok {
@@ -258,6 +323,18 @@ func (s *System) windowLoop(pool *pdesPool) error {
 		active = active[:0]
 		s.pdesNow = simNow
 
+		if prof != nil {
+			cur := s.EventsProcessed()
+			prof.RecordRound(selfprof.Span{
+				Round:   prof.Rounds,
+				StartNs: int64(roundStart.Sub(prof.Start)),
+				DurNs:   int64(time.Since(roundStart)),
+				Clock:   uint64(simNow),
+				Events:  cur - lastEvents,
+			})
+			lastEvents = cur
+		}
+
 		if s.cfg.MaxEvents > 0 && s.EventsProcessed() >= s.cfg.MaxEvents && s.pdesPending() > 0 {
 			return fmt.Errorf("core: watchdog fired after %d events (livelock?)\n%s",
 				s.EventsProcessed(), s.diagnose())
@@ -273,6 +350,9 @@ func (s *System) windowLoop(pool *pdesPool) error {
 				s.nextSample += s.timelineInterval
 			}
 		}
+	}
+	if prof != nil {
+		prof.LoopNs = int64(time.Since(loopStart))
 	}
 	return nil
 }
@@ -376,6 +456,35 @@ func (s *System) mergePDES() {
 	}
 }
 
+// runWindow executes this tile's window for the current round. It is
+// the single call shape every execution path uses — the inline
+// coordinator path and the crew's stride loops — so busy wall-clock,
+// per-round event deltas, and round spans have exactly one accounting
+// point. With self-prof disabled it degrades to one nil check in front
+// of RunUntil.
+func (t *tile) runWindow() {
+	ts := t.prof
+	if ts == nil {
+		t.eng.RunUntil(t.bound)
+		return
+	}
+	start := time.Now()
+	before := t.eng.Processed()
+	t.eng.RunUntil(t.bound)
+	dur := time.Since(start)
+	ev := t.eng.Processed() - before
+	ts.Events += ev
+	ts.WallNs += int64(dur)
+	ts.RecordSpan(selfprof.Span{
+		Round:   ts.CurRound,
+		StartNs: int64(start.Sub(ts.Epoch)),
+		DurNs:   int64(dur),
+		Bound:   uint64(t.bound),
+		Clock:   uint64(t.eng.Now()),
+		Events:  ev,
+	})
+}
+
 // pdesPool is the persistent worker crew behind the window loop. The
 // window-loop goroutine doubles as worker 0; workers 1..n-1 spin on an
 // epoch counter, so handing off a window costs two atomic operations
@@ -387,6 +496,10 @@ type pdesPool struct {
 	epoch   atomic.Uint64
 	done    []padUint64
 	quit    atomic.Bool
+
+	// prof, when non-nil, receives per-worker spin/busy wall-clock and
+	// the coordinator's barrier wait. Set before the crew launches.
+	prof *selfprof.Profile
 }
 
 // padUint64 keeps each worker's completion counter on its own cache
@@ -397,11 +510,11 @@ type padUint64 struct {
 	_ [56]byte
 }
 
-func newPDESPool(workers int) *pdesPool {
+func newPDESPool(workers int, prof *selfprof.Profile) *pdesPool {
 	if workers <= 1 {
 		return nil
 	}
-	p := &pdesPool{workers: workers, done: make([]padUint64, workers)}
+	p := &pdesPool{workers: workers, done: make([]padUint64, workers), prof: prof}
 	for w := 1; w < workers; w++ {
 		go func(w int) {
 			// Label the crew goroutines so -cpuprofile attributes
@@ -420,6 +533,16 @@ func newPDESPool(workers int) *pdesPool {
 // happens-after the tile runs, so no other synchronization is needed.
 func (p *pdesPool) work(w int) {
 	var seen uint64
+	// Self-prof: bracket the spin and busy stretches with clock reads.
+	// The shard writes are ordered against the coordinator's reads by
+	// the done-counter store below (and the epoch load above), so plain
+	// fields suffice; with prof disabled no clock is ever read.
+	var ws *selfprof.WorkerShard
+	var waitStart time.Time
+	if p.prof != nil {
+		ws = &p.prof.WorkerWait[w]
+		waitStart = time.Now()
+	}
 	for {
 		e := p.epoch.Load()
 		if e == seen {
@@ -430,9 +553,18 @@ func (p *pdesPool) work(w int) {
 			continue
 		}
 		seen = e
+		var busyStart time.Time
+		if ws != nil {
+			busyStart = time.Now()
+			ws.SpinNs += int64(busyStart.Sub(waitStart))
+			ws.Rounds++
+		}
 		for i := w; i < len(p.active); i += p.workers {
-			t := p.active[i]
-			t.eng.RunUntil(t.bound)
+			p.active[i].runWindow()
+		}
+		if ws != nil {
+			waitStart = time.Now()
+			ws.BusyNs += int64(waitStart.Sub(busyStart))
 		}
 		p.done[w].v.Store(e)
 	}
@@ -446,13 +578,19 @@ func (p *pdesPool) run(active []*tile) {
 	p.active = active
 	e := p.epoch.Add(1)
 	for i := 0; i < len(active); i += p.workers {
-		t := active[i]
-		t.eng.RunUntil(t.bound)
+		active[i].runWindow()
+	}
+	var waitStart time.Time
+	if p.prof != nil {
+		waitStart = time.Now()
 	}
 	for w := 1; w < p.workers; w++ {
 		for p.done[w].v.Load() != e {
 			runtime.Gosched()
 		}
+	}
+	if p.prof != nil {
+		p.prof.CoordWaitNs += int64(time.Since(waitStart))
 	}
 }
 

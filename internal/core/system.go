@@ -9,6 +9,7 @@ import (
 	"protozoa/internal/noc"
 	"protozoa/internal/obs"
 	"protozoa/internal/obs/attrib"
+	"protozoa/internal/obs/selfprof"
 	"protozoa/internal/predictor"
 	"protozoa/internal/stats"
 	"protozoa/internal/trace"
@@ -150,6 +151,10 @@ type System struct {
 	metrics *obs.Registry
 	attrib  *attrib.Tracker
 
+	// selfProf observes the simulator itself (EnableSelfProf): PDES
+	// round telemetry and engine queue introspection. nil = disabled.
+	selfProf *selfprof.Profile
+
 	// latShards holds per-core latency-breakdown shards under PDES
 	// (indexed by the core whose miss is being stamped — directory
 	// slices stamp for the requesting core, which may live on another
@@ -224,6 +229,7 @@ type tile struct {
 	// by the Enable* methods).
 	rec         *obs.Recorder
 	attrib      *attrib.Tracker
+	prof        *selfprof.TileShard
 	transitions map[Transition]uint64
 
 	mshrLive int // misses outstanding at this tile's core
@@ -396,6 +402,19 @@ func (s *System) queueHighWater() int {
 	return n
 }
 
+// queueZeroDelayHits aggregates the engines' zero-delay fast-path hit
+// counters (always on — the count shares the fast path's branch).
+func (s *System) queueZeroDelayHits() uint64 {
+	if !s.pdes {
+		return s.eng.MicroHits()
+	}
+	var n uint64
+	for _, t := range s.tiles {
+		n += t.eng.MicroHits()
+	}
+	return n
+}
+
 // poolCounts aggregates message-pool hit/alloc counters across the
 // pools in use (one shared pool in legacy mode, one per tile in PDES).
 func (s *System) poolCounts() (hits, allocs uint64) {
@@ -525,6 +544,12 @@ func (s *System) Run() error {
 	}
 	s.st.ExecCycles = uint64(s.lastRetire)
 	s.flushResidual()
+	// Engine self-observability counters land in the stats at the very
+	// end of the run (they describe the whole run) — always set, so the
+	// stats JSON is byte-identical whether or not self-prof is enabled.
+	s.st.EventQueueHighWater = uint64(s.eng.HighWater())
+	s.st.ZeroDelayHits = s.eng.MicroHits()
+	s.finishSelfProf()
 	// Clean drain: return the bucket ring to the engine's storage pool
 	// so the next cell in this process reuses it instead of paying the
 	// fixed ring allocation again. Error paths keep the queue intact

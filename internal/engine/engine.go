@@ -33,6 +33,30 @@ type Event func()
 // pointer-shaped Runner does not allocate.
 type Runner interface{ Run() }
 
+// Prof is the engine's opt-in queue-introspection block (the simulator
+// self-profiling layer, internal/obs/selfprof). Attach one with SetProf
+// before running; every counter site in the hot path guards on a single
+// nil check, so an engine without a Prof pays one predictable branch —
+// the same contract as the internal/obs hooks. All fields are written
+// only by the goroutine running the engine; readers synchronize at the
+// PDES round barrier (or after Run), so plain integers suffice.
+//
+// The trailing pad pushes adjacent Profs in a slice onto separate cache
+// lines: under PDES each tile's engine bumps its own shard while other
+// workers bump theirs, and false sharing here would bill the
+// measurement to the thing being measured.
+type Prof struct {
+	RingPushes uint64 // events filed into the near-future bucket ring
+	FarPushes  uint64 // events filed into the far-future (or legacy) heap
+	Refusals   uint64 // RunUntil stopped by the window bound with work still queued
+	LimitCuts  uint64 // LimitTo calls that actually tightened the running bound
+	MicroHigh  int    // deepest the zero-delay micro FIFO has been
+	RingHigh   int    // most unpopped events the bucket ring has held
+	FarHigh    int    // deepest the far-future heap has been
+
+	_ [64]byte // keep neighbouring shards off this cache line
+}
+
 // item is one queued event: either r (preferred) or fn is set.
 type item struct {
 	at  Cycle
@@ -56,11 +80,16 @@ type Engine struct {
 	now     Cycle
 	seq     uint64
 	events  uint64
-	size    int // queued events right now (all levels)
-	high    int // deepest the queue has ever been
+	size    int    // queued events right now (all levels)
+	high    int    // deepest the queue has ever been
+	micros  uint64 // zero-delay fast-path hits (micro FIFO pushes)
 	useHeap bool
 	heap    heapQueue
 	bq      bucketQueue
+
+	// prof, when non-nil, receives the queue-introspection counters
+	// (SetProf). One nil check per site when disabled.
+	prof *Prof
 
 	// micro is the zero-delay fast path: a run-to-completion FIFO for
 	// events scheduled at exactly the current cycle. Same-cycle chains
@@ -128,9 +157,21 @@ func (e *Engine) push(it item) {
 		// peekMin cache tracks the underlying queue only, so it is
 		// deliberately NOT updated here.
 		e.micro = append(e.micro, it)
+		e.micros++
+		if e.prof != nil {
+			if d := len(e.micro) - e.microHead; d > e.prof.MicroHigh {
+				e.prof.MicroHigh = d
+			}
+		}
 	} else {
 		if e.useHeap {
 			e.heap.push(it)
+			if e.prof != nil {
+				e.prof.FarPushes++
+				if len(e.heap.items) > e.prof.FarHigh {
+					e.prof.FarHigh = len(e.heap.items)
+				}
+			}
 		} else {
 			e.bq.push(it)
 		}
@@ -230,6 +271,23 @@ func (e *Engine) ScheduleRunnerAt(at Cycle, r Runner) {
 // event-queue depth gauge the observability registry exposes.
 func (e *Engine) HighWater() int { return e.high }
 
+// MicroHits reports how many events rode the zero-delay fast path (the
+// same-cycle micro FIFO) instead of the two-level queue. Always
+// counted — the increment shares the fast path's existing branch.
+func (e *Engine) MicroHits() uint64 { return e.micros }
+
+// SetProf attaches a queue-introspection shard: every hot-path counter
+// site guards on one nil check, so engines without a Prof pay a single
+// predictable branch per site. Pass nil to detach. Counters accumulate;
+// attach a zeroed Prof per run for per-run numbers.
+func (e *Engine) SetProf(p *Prof) {
+	e.prof = p
+	e.bq.prof = p
+}
+
+// Prof returns the attached introspection shard, or nil.
+func (e *Engine) Prof() *Prof { return e.prof }
+
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int {
 	n := len(e.micro) - e.microHead
@@ -325,6 +383,9 @@ func (e *Engine) RunUntil(limit Cycle) {
 			if hasNext {
 				e.peekMin = next
 				e.peekValid = true
+				if e.prof != nil {
+					e.prof.Refusals++
+				}
 			}
 			return
 		}
@@ -354,6 +415,9 @@ func (e *Engine) LimitTo(c Cycle) {
 	}
 	if c < e.limit {
 		e.limit = c
+		if e.prof != nil {
+			e.prof.LimitCuts++
+		}
 	}
 }
 

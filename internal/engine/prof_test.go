@@ -1,0 +1,127 @@
+package engine
+
+import "testing"
+
+// TestProfCountsReconcile pins the queue-introspection accounting: on a
+// bucketed engine every scheduled event is exactly one of a ring push,
+// a far-future push, or a zero-delay micro hit, so the three counters
+// must sum to the schedule count — and the high-water marks bound the
+// final totals.
+func TestProfCountsReconcile(t *testing.T) {
+	e := NewBucketed()
+	var prof Prof
+	e.SetProf(&prof)
+
+	const nearEvents = 50
+	const farEvents = 7
+	scheduled := 0
+	ran := 0
+
+	// Near-future events inside the 512-cycle ring window.
+	for i := 0; i < nearEvents; i++ {
+		e.Schedule(Cycle(1+i%100), func() { ran++ })
+		scheduled++
+	}
+	// Far-future events beyond the ring.
+	for i := 0; i < farEvents; i++ {
+		e.Schedule(Cycle(numBuckets+10+i), func() { ran++ })
+		scheduled++
+	}
+	// Zero-delay chains: each event schedules a same-cycle follower.
+	for i := 0; i < 5; i++ {
+		e.Schedule(Cycle(3+i), func() {
+			e.Schedule(0, func() { ran++ })
+			scheduled++
+			ran++
+		})
+		scheduled++
+	}
+
+	if !e.Run(0) {
+		t.Fatal("queue did not drain")
+	}
+	if ran != scheduled {
+		t.Fatalf("ran %d of %d scheduled events", ran, scheduled)
+	}
+
+	total := prof.RingPushes + prof.FarPushes + e.MicroHits()
+	if total != uint64(scheduled) {
+		t.Errorf("ring %d + far %d + micro %d = %d, want %d scheduled",
+			prof.RingPushes, prof.FarPushes, e.MicroHits(), total, scheduled)
+	}
+	if prof.FarPushes != farEvents {
+		t.Errorf("FarPushes = %d, want %d", prof.FarPushes, farEvents)
+	}
+	if e.MicroHits() != 5 {
+		t.Errorf("MicroHits = %d, want 5", e.MicroHits())
+	}
+	if prof.MicroHigh < 1 {
+		t.Errorf("MicroHigh = %d, want >= 1", prof.MicroHigh)
+	}
+	if prof.RingHigh < 1 || prof.RingHigh > scheduled {
+		t.Errorf("RingHigh = %d out of range [1, %d]", prof.RingHigh, scheduled)
+	}
+	if prof.FarHigh != farEvents {
+		t.Errorf("FarHigh = %d, want %d", prof.FarHigh, farEvents)
+	}
+}
+
+// TestProfHeapEngineCountsFarPushes pins the legacy heap engine's
+// accounting: every non-zero-delay schedule is a FarPush there.
+func TestProfHeapEngineCountsFarPushes(t *testing.T) {
+	e := NewWithHeap()
+	var prof Prof
+	e.SetProf(&prof)
+
+	for i := 0; i < 10; i++ {
+		e.Schedule(Cycle(1+i), func() {})
+	}
+	if !e.Run(0) {
+		t.Fatal("queue did not drain")
+	}
+	if prof.FarPushes != 10 {
+		t.Errorf("FarPushes = %d, want 10", prof.FarPushes)
+	}
+	if prof.FarHigh != 10 {
+		t.Errorf("FarHigh = %d, want 10", prof.FarHigh)
+	}
+	if prof.RingPushes != 0 {
+		t.Errorf("RingPushes = %d, want 0 on a heap engine", prof.RingPushes)
+	}
+}
+
+// TestProfRefusalsAndLimitCuts pins the window-bound counters: a
+// RunUntil stopped by its bound with work queued counts one refusal,
+// and only LimitTo calls that actually tighten the bound count cuts.
+func TestProfRefusalsAndLimitCuts(t *testing.T) {
+	e := NewBucketed()
+	var prof Prof
+	e.SetProf(&prof)
+
+	e.Schedule(5, func() {})
+	e.Schedule(20, func() {})
+
+	e.RunUntil(10) // runs the cycle-5 event, refuses at the cycle-20 one
+	if prof.Refusals != 1 {
+		t.Fatalf("Refusals = %d after bounded run, want 1", prof.Refusals)
+	}
+
+	// An event that tightens the bound mid-window: the second LimitTo is
+	// not below the running bound, so only one cut counts.
+	e.Schedule(2, func() {
+		e.LimitTo(10) // cuts 100 -> 10
+		e.LimitTo(50) // no-op: never raises
+	})
+	e.RunUntil(100)
+	if prof.LimitCuts != 1 {
+		t.Errorf("LimitCuts = %d, want 1", prof.LimitCuts)
+	}
+	if prof.Refusals != 2 {
+		t.Errorf("Refusals = %d after the cut window, want 2", prof.Refusals)
+	}
+
+	e.RunUntil(1000) // drains; no refusal (queue empties)
+	if prof.Refusals != 2 {
+		t.Errorf("Refusals = %d after full drain, want 2", prof.Refusals)
+	}
+}

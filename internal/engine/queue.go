@@ -125,6 +125,7 @@ type bucketQueue struct {
 	inWin   int           // unpopped items currently in buckets
 	far     heapQueue
 	size    int
+	prof    *Prof // queue-introspection shard (Engine.SetProf); nil when disabled
 }
 
 // queueStorage is the poolable part of a bucketQueue: the ring itself
@@ -188,8 +189,20 @@ func (q *bucketQueue) push(it item) {
 		b.items = append(b.items, it)
 		q.occ[slot>>6] |= 1 << (slot & 63)
 		q.inWin++
+		if q.prof != nil {
+			q.prof.RingPushes++
+			if q.inWin > q.prof.RingHigh {
+				q.prof.RingHigh = q.inWin
+			}
+		}
 	} else {
 		q.far.push(it)
+		if q.prof != nil {
+			q.prof.FarPushes++
+			if len(q.far.items) > q.prof.FarHigh {
+				q.prof.FarHigh = len(q.far.items)
+			}
+		}
 	}
 }
 
@@ -264,7 +277,9 @@ func (q *bucketQueue) pop() (item, bool) {
 
 // refill drains far-future events landing in the (just repositioned)
 // window into their buckets. Heap pops come out in (cycle, seq) order,
-// so each bucket receives its items in seq order.
+// so each bucket receives its items in seq order. Migrated events were
+// already counted as FarPushes when first filed, so only the ring
+// high-water mark is refreshed here — never the push counters.
 func (q *bucketQueue) refill() {
 	for {
 		nextAt, ok := q.far.peekAt()
@@ -277,6 +292,9 @@ func (q *bucketQueue) refill() {
 		b.items = append(b.items, it)
 		q.occ[slot>>6] |= 1 << (slot & 63)
 		q.inWin++
+		if q.prof != nil && q.inWin > q.prof.RingHigh {
+			q.prof.RingHigh = q.inWin
+		}
 	}
 }
 

@@ -31,14 +31,20 @@ func (m *Matrix) PhaseDecomposition() string {
 	for p := obs.Phase(0); p < obs.NumPhases; p++ {
 		fmt.Fprintf(&b, " %11s", p)
 	}
-	fmt.Fprintf(&b, " %11s %11s  %s\n", "phase-sum", "avg-lat", "tail")
+	fmt.Fprintf(&b, " %11s %11s %8s %10s  %s\n", "phase-sum", "avg-lat", "q-high", "zero-delay", "tail")
 	for _, p := range m.Protocols {
 		lat := m.mergedBreakdown(p)
-		var misses, latSum uint64
+		var misses, latSum, qHigh, zeroDelay uint64
 		for _, w := range m.Workloads {
 			if s := m.Get(w, p); s != nil {
 				misses += s.L1Misses
 				latSum += s.MissLatencySum
+				// Queue high-water is a per-run peak, not additive;
+				// report the deepest any workload's queue got.
+				if s.EventQueueHighWater > qHigh {
+					qHigh = s.EventQueueHighWater
+				}
+				zeroDelay += s.ZeroDelayHits
 			}
 		}
 		avg := 0.0
@@ -53,8 +59,9 @@ func (m *Matrix) PhaseDecomposition() string {
 		for ph := obs.Phase(0); ph < obs.NumPhases; ph++ {
 			fmt.Fprintf(&b, " %11.1f", lat.AvgPhase(ph))
 		}
-		fmt.Fprintf(&b, " %11.1f %11.1f  p50<=%d p95<=%d p99<=%d\n",
-			phaseSum, avg, lat.Percentile(50), lat.Percentile(95), lat.Percentile(99))
+		fmt.Fprintf(&b, " %11.1f %11.1f %8d %10d  p50<=%d p95<=%d p99<=%d\n",
+			phaseSum, avg, qHigh, zeroDelay,
+			lat.Percentile(50), lat.Percentile(95), lat.Percentile(99))
 	}
 	return b.String()
 }

@@ -41,6 +41,8 @@ func RenderStats(workload string, p core.Protocol, s *stats.Stats) string {
 	fmt.Fprintf(&b, "  miss latency      %12.1f cycles avg, p50 <= %d, p95 <= %d, max %d\n",
 		s.AvgMissLatency(), s.MissLatencyP(50), s.MissLatencyP(95), s.MissLatencyMax)
 	fmt.Fprintf(&b, "  execution         %12d cycles\n", s.ExecCycles)
+	fmt.Fprintf(&b, "  engine queue      %12d high-water, %d zero-delay hits\n",
+		s.EventQueueHighWater, s.ZeroDelayHits)
 	fmt.Fprintf(&b, "  energy (est.)     %s\n", stats.DefaultEnergyModel().Estimate(s))
 	if len(s.PerCore) > 0 {
 		fmt.Fprintf(&b, "  per core          %6s %10s %10s %10s %8s\n",

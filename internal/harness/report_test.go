@@ -25,6 +25,8 @@ func TestRenderStatsContent(t *testing.T) {
 		"fill granularity",
 		"dir O-state mix",
 		"miss latency",
+		"engine queue",
+		"zero-delay hits",
 		"energy (est.)",
 		"per core",
 	} {

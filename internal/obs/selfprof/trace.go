@@ -1,0 +1,93 @@
+package selfprof
+
+import (
+	"io"
+	"strconv"
+
+	"protozoa/internal/obs"
+)
+
+// Chrome meta-track export: the profile's round spans render as a
+// trace-event JSON document on a dedicated "pdes" process — one track
+// per tile plus a coordinator track carrying whole-round spans — so
+// barrier skew (a straggler tile's span stretching past its peers
+// while the round span waits on it) is visually obvious in Perfetto.
+//
+// Unlike the machine trace (1 simulated cycle = 1 µs), the meta-track
+// is WALL-clock: timestamps are nanoseconds since the profile started,
+// rendered as microseconds. The two traces are written to separate
+// files for exactly that reason — mixing clocks in one document would
+// misalign every slice, and appending tracks to the machine trace
+// would break the byte-identical -self-prof on/off contract.
+
+// coordTrack is the coordinator's thread ID in the meta-trace; tile
+// spans use tid = tile ID, which the machine keeps well below this.
+const coordTrack = 4095
+
+// BuildChromeTrace renders the profile's retained spans as a Chrome
+// trace document.
+func (p *Profile) BuildChromeTrace() *obs.ChromeTrace {
+	var droppedSpans uint64
+	for i := range p.Tiles {
+		droppedSpans += p.Tiles[i].spans.dropped()
+	}
+	droppedSpans += p.coord.dropped()
+
+	tr := &obs.ChromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"clock":         "wall time, 1ns span resolution rendered as us",
+			"dropped_spans": droppedSpans,
+		},
+	}
+	tr.TraceEvents = append(tr.TraceEvents, obs.ChromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "protozoa pdes self-profile"},
+	})
+	track := func(tid int, name string) {
+		tr.TraceEvents = append(tr.TraceEvents, obs.ChromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	span := func(tid int, name string, sp Span) {
+		dur := uint64(sp.DurNs) / 1000
+		if dur == 0 {
+			dur = 1 // sub-µs rounds still render as visible slices
+		}
+		tr.TraceEvents = append(tr.TraceEvents, obs.ChromeEvent{
+			Name: name, Ph: "X",
+			Ts: uint64(sp.StartNs) / 1000, Dur: dur,
+			Pid: 1, Tid: tid,
+			Args: map[string]any{
+				"round":  sp.Round,
+				"bound":  sp.Bound,
+				"clock":  sp.Clock,
+				"events": sp.Events,
+			},
+		})
+	}
+
+	if spans := p.coord.snapshot(); len(spans) > 0 {
+		track(coordTrack, "coordinator")
+		for _, sp := range spans {
+			span(coordTrack, "round", sp)
+		}
+	}
+	for i := range p.Tiles {
+		spans := p.Tiles[i].Spans()
+		if len(spans) == 0 {
+			continue
+		}
+		track(i, "tile "+strconv.Itoa(i))
+		for _, sp := range spans {
+			span(i, "run", sp)
+		}
+	}
+	return tr
+}
+
+// WriteChromeTrace writes the meta-trace as indented JSON.
+func (p *Profile) WriteChromeTrace(w io.Writer) error {
+	return obs.EncodeChromeTrace(w, p.BuildChromeTrace())
+}

@@ -207,7 +207,14 @@ func eventArgs(e Event) map[string]any {
 
 // WriteChromeTrace builds the trace and writes it as indented JSON.
 func WriteChromeTrace(w io.Writer, events []Event, dropped uint64, opt TraceOptions) error {
+	return EncodeChromeTrace(w, BuildChromeTrace(events, dropped, opt))
+}
+
+// EncodeChromeTrace writes an already-built trace document as indented
+// JSON — the shared writer behind the machine trace and the selfprof
+// meta-trace.
+func EncodeChromeTrace(w io.Writer, tr *ChromeTrace) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(BuildChromeTrace(events, dropped, opt))
+	return enc.Encode(tr)
 }

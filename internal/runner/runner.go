@@ -67,6 +67,13 @@ type Cell struct {
 	// with an Extract must name it in their CellSpec so the codec is
 	// part of the key.
 	Extract func(*core.System) ([]byte, error)
+
+	// AfterRun, when non-nil, observes the live machine after a
+	// successful simulation, on the worker goroutine. Cache hits never
+	// invoke it — nothing was simulated, so there is no machine to
+	// observe. Drivers use it to collect self-profiling aggregates;
+	// like Observe, its outcome is invisible to the result cache.
+	AfterRun func(*core.System)
 }
 
 // Result is one cell's outcome, delivered in the slot matching the
@@ -268,6 +275,9 @@ func simCell(i int, c Cell) Result {
 				r.Err = fmt.Errorf("%s: extract: %w", c.Label, err)
 				r.Stats, r.Attrib, r.Latency = nil, nil, nil
 			}
+		}
+		if r.Err == nil && c.AfterRun != nil {
+			c.AfterRun(sys)
 		}
 	}
 	r.Events = sys.EventsProcessed()

@@ -136,6 +136,16 @@ type Stats struct {
 	DirOwnerPlusSharers uint64 // 1 owner plus >=1 sharers
 	DirMultiOwner       uint64 // >1 owners (Protozoa-MW only)
 
+	// Simulator self-observability (properties of the run's execution,
+	// not of the simulated machine): the event queue's deepest
+	// occupancy and the count of events that rode the engine's
+	// zero-delay fast path. Both are deterministic for a given schedule
+	// — identical across worker counts >= 1 and across the two queue
+	// implementations — and are summed across PDES tile shards, like
+	// the high-water gauge. Set once at the end of Run.
+	EventQueueHighWater uint64
+	ZeroDelayHits       uint64
+
 	// Outcome.
 	ExecCycles uint64
 
