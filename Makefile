@@ -17,6 +17,7 @@ verify:
 	go test -run '^$$' -bench SimulatorThroughput -benchtime 1x .
 	$(MAKE) obs-smoke
 	$(MAKE) pdes-smoke
+	$(MAKE) flight-smoke
 	$(MAKE) cache-smoke
 
 # Every smoke target works in its own mktemp -d scratch directory,
@@ -36,6 +37,24 @@ pdes-smoke:
 	cmp $$d/w1.json $$d/w4.json \
 		|| { echo "pdes-smoke: -workers 1 and -workers 4 diverge"; exit 1; }; \
 	echo "pdes-smoke: -workers 1 and -workers 4 stats byte-identical"
+
+# flight-smoke: record the flight log for the same run at -workers 1
+# and -workers 2 — the files must be byte-identical (the merged
+# per-tile rings are worker-count invariant) — then validate the log
+# end to end through protozoa-inspect -check.
+flight-smoke:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	go build -o $$d/protozoa-sim ./cmd/protozoa-sim; \
+	go build -o $$d/protozoa-inspect ./cmd/protozoa-inspect; \
+	$$d/protozoa-sim -workload barnes -protocol mw -scale 1 \
+		-workers 1 -flight $$d/w1.pzfl > /dev/null; \
+	$$d/protozoa-sim -workload barnes -protocol mw -scale 1 \
+		-workers 2 -flight $$d/w2.pzfl > /dev/null; \
+	cmp $$d/w1.pzfl $$d/w2.pzfl \
+		|| { echo "flight-smoke: -workers 1 and -workers 2 flight logs diverge"; exit 1; }; \
+	$$d/protozoa-inspect -check $$d/w1.pzfl \
+		|| { echo "flight-smoke: recorded log failed validation"; exit 1; }; \
+	echo "flight-smoke: flight logs byte-identical across workers and inspect-clean"
 
 # trace-smoke: a 1-iteration simulation with event tracing and the
 # metrics registry enabled, validating both JSON artifacts parse
@@ -162,4 +181,4 @@ bench-gate:
 	$$d/protozoa-benchdiff -baseline "$(BENCH_BASELINE)" \
 		-gate $(BENCH_GATE_TOL) < $$d/bench.txt
 
-.PHONY: verify bench bench-compare bench-gate trace-smoke obs-smoke pdes-smoke cache-smoke
+.PHONY: verify bench bench-compare bench-gate trace-smoke obs-smoke pdes-smoke flight-smoke cache-smoke

@@ -1,6 +1,6 @@
 // Package cmd_test builds every CLI binary once and exercises its
 // primary paths end to end — the integration layer unit tests cannot
-// reach. Skipped under -short (it compiles nine binaries).
+// reach. Skipped under -short (it compiles ten binaries).
 package cmd_test
 
 import (
@@ -20,7 +20,7 @@ import (
 var tools = []string{
 	"protozoa-sim", "protozoa-table1", "protozoa-figs", "protozoa-verify",
 	"protozoa-trace", "protozoa-profile", "protozoa-sweep", "protozoa-report",
-	"protozoa-benchdiff",
+	"protozoa-benchdiff", "protozoa-inspect",
 }
 
 // buildAll compiles the binaries into a shared temp dir.
@@ -389,6 +389,63 @@ func TestCLIs(t *testing.T) {
 		}
 		if stdout.String() != string(base) {
 			t.Error("-self-prof changed the stdout report")
+		}
+	})
+
+	t.Run("sim-flight-inspect", func(t *testing.T) {
+		// Record the same run at two worker counts: the flight logs must
+		// be byte-identical, and inspect must validate and reconstruct
+		// transactions whose phase dwells tile the total latency.
+		logs := make([][]byte, 2)
+		for i, w := range []string{"1", "2"} {
+			path := filepath.Join(dir, "flight-w"+w+".pzfl")
+			out := run(t, bin("protozoa-sim"), "-workload", "fft", "-cores", "4", "-scale", "1",
+				"-workers", w, "-flight", path, "-flight-cap", "65536")
+			if !strings.Contains(out, "flight recorder:") {
+				t.Errorf("sim report missing the flight recorder line:\n%s", out)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			logs[i] = data
+		}
+		if string(logs[0]) != string(logs[1]) {
+			t.Error("flight logs differ between -workers 1 and -workers 2")
+		}
+		log := filepath.Join(dir, "flight-w1.pzfl")
+		out := run(t, bin("protozoa-inspect"), "-check", log)
+		if !strings.HasPrefix(out, "ok:") || !strings.Contains(out, "(0 open)") {
+			t.Errorf("inspect -check output:\n%s", out)
+		}
+		out = run(t, bin("protozoa-inspect"), "-summary", log)
+		for _, want := range []string{"protocol    Protozoa-MW", "msg-send", "miss-start", "l1-state"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("inspect -summary missing %q:\n%s", want, out)
+			}
+		}
+		out = run(t, bin("protozoa-inspect"), "-last", "5", log)
+		if !strings.Contains(out, "req-noc") || !strings.Contains(out, "GETS") {
+			t.Errorf("inspect timeline output:\n%s", out)
+		}
+		// A region filter must yield a coherent single-region transcript.
+		out = run(t, bin("protozoa-inspect"), "-records", "-last", "3", log)
+		var region string
+		fields := strings.Fields(out)
+		for i, f := range fields {
+			if f == "region" && i+1 < len(fields) {
+				region = fields[i+1]
+				break
+			}
+		}
+		if region == "" {
+			t.Fatalf("no region in transcript:\n%s", out)
+		}
+		out = run(t, bin("protozoa-inspect"), "-records", "-region", region, log)
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			if !strings.Contains(line, "region "+region) {
+				t.Errorf("record for another region leaked through the filter: %q", line)
+			}
 		}
 	})
 

@@ -46,6 +46,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel window-loop goroutines (0 = sequential engine; results are byte-identical for any value >= 1)")
 	list := flag.Bool("list", false, "list the workload suite and exit")
 	msglog := flag.Int("msglog", 0, "dump the last N coherence messages after the run")
+	flightOut := flag.String("flight", "", "record a protocol flight log (every message, state transition, and directory step) and write it to this file for protozoa-inspect")
+	flightCap := flag.Int("flight-cap", 0, "flight recorder capacity in records (0 = default 32Ki; oldest records drop on wrap)")
+	stallCycles := flag.Int("stall-cycles", 0, "arm the stall watchdog: dump any transaction outstanding longer than N cycles to stderr")
 	jsonOut := flag.Bool("json", false, "emit the raw stats as JSON instead of the report")
 	timeline := flag.Int("timeline", 0, "sample the run every N cycles and print per-window rates")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
@@ -87,11 +90,12 @@ func main() {
 		os.Exit(1)
 	}
 	doSelfProf := *selfProf || *selfProfOut != "" || *selfProfTrace != ""
-	if *msglog > 0 || *timeline > 0 || *traceOut != "" || *metricsOut != "" || *attribOut || *serve != "" || doSelfProf {
+	if *msglog > 0 || *timeline > 0 || *traceOut != "" || *metricsOut != "" || *attribOut || *serve != "" || doSelfProf || *flightOut != "" || *stallCycles > 0 {
 		err := runInstrumented(*workload, p, *cores, *scale, *workers, *msglog, *timeline, instrumentOut{
 			traceOut: *traceOut, traceCap: *traceCap, metricsOut: *metricsOut,
 			attrib: *attribOut, serve: *serve,
 			selfProf: doSelfProf, selfProfOut: *selfProfOut, selfProfTrace: *selfProfTrace,
+			flightOut: *flightOut, flightCap: *flightCap, stallCycles: *stallCycles,
 		})
 		if perr := stopProfiles(); err == nil {
 			err = perr
@@ -132,6 +136,9 @@ type instrumentOut struct {
 	selfProf      bool
 	selfProfOut   string
 	selfProfTrace string
+	flightOut     string
+	flightCap     int
+	stallCycles   int
 }
 
 // runInstrumented builds the system directly so protocol transcripts,
@@ -167,6 +174,14 @@ func runInstrumented(workload string, p protozoa.Protocol, cores, scale, workers
 	}
 	if out.selfProf {
 		sys.EnableSelfProf()
+	}
+	if out.flightOut != "" {
+		sys.EnableFlightRecorder(out.flightCap)
+	}
+	if out.stallCycles > 0 {
+		// Watchdog dumps stream to stderr so stdout stays byte-identical
+		// across worker counts (and with the flag off).
+		sys.EnableStallWatchdog(engine.Cycle(out.stallCycles), os.Stderr)
 	}
 	if out.serve != "" {
 		// The endpoint exposes the attribution gauges, so arm the
@@ -241,6 +256,17 @@ func runInstrumented(workload string, p protozoa.Protocol, cores, scale, workers
 	}
 	if out.attrib {
 		fmt.Printf("\n%s", harness.RenderAttribution(sys.Attribution(), 10))
+	}
+	if out.flightOut != "" {
+		if err := writeTo(out.flightOut, sys.WriteFlightLog); err != nil {
+			return err
+		}
+		fmt.Printf("\nflight recorder: %d records kept, %d dropped -> %s\n",
+			sys.FlightRecorder().Len(), sys.FlightDropped(), out.flightOut)
+	}
+	if out.stallCycles > 0 {
+		fmt.Printf("\nstall watchdog: %d transaction(s) exceeded %d cycles\n",
+			len(sys.Stalls()), out.stallCycles)
 	}
 	return nil
 }

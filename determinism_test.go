@@ -6,7 +6,10 @@ import (
 	"testing"
 
 	"protozoa"
+	"protozoa/internal/core"
 	"protozoa/internal/engine"
+	"protozoa/internal/runner"
+	"protozoa/internal/workloads"
 )
 
 // marshalRun executes one workload and returns its full marshaled
@@ -74,6 +77,54 @@ func TestWorkerCountsAgree(t *testing.T) {
 					got := marshalRunWorkers(t, w, p, n)
 					if !bytes.Equal(base, got) {
 						t.Fatalf("workers=1 and workers=%d diverge:\n%s\n---\n%s", n, base, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorkerCountsAgreeOnFlightLog extends the worker-count guarantee
+// to the flight recorder: the serialized flight log — header and every
+// record, including ring-wrap drops — must be byte-identical at any
+// workers >= 1, even though each tile records into its own ring and the
+// transcript is merged on export. micro-barrier-skew again stresses the
+// adversarial schedule (idle-window skipping, extended solo windows).
+func TestWorkerCountsAgreeOnFlightLog(t *testing.T) {
+	logAt := func(t *testing.T, w string, p core.Protocol, workers int) []byte {
+		t.Helper()
+		spec, err := workloads.Get(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig(p)
+		cfg.Workers = workers
+		if err := runner.ConfigureCores(&cfg, 16); err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.NewSystem(cfg, spec.Streams(16, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.EnableFlightRecorder(1 << 15)
+		if err := sys.Run(); err != nil {
+			t.Fatalf("%v on %s (workers %d): %v", p, w, workers, err)
+		}
+		var buf bytes.Buffer
+		if err := sys.WriteFlightLog(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, w := range []string{"barnes", "micro-barrier-skew"} {
+		for _, p := range []core.Protocol{core.MESI, core.ProtozoaMW} {
+			w, p := w, p
+			t.Run(w+"/"+p.String(), func(t *testing.T) {
+				base := logAt(t, w, p, 1)
+				for _, n := range []int{2, 4} {
+					if got := logAt(t, w, p, n); !bytes.Equal(base, got) {
+						t.Fatalf("flight log diverges between workers=1 and workers=%d (%d vs %d bytes)",
+							n, len(base), len(got))
 					}
 				}
 			})

@@ -33,6 +33,12 @@ type Checker struct {
 	Loads int
 
 	violations []string
+
+	// transcript is the flight recorder's tail captured at the first
+	// violation (empty when the recorder is disabled): the record of
+	// what the machine was doing when the invariant broke, before
+	// later traffic rotates it out of the bounded rings.
+	transcript string
 }
 
 // MaxViolations bounds the recorded diagnostics.
@@ -67,14 +73,32 @@ func (c *Checker) Summary() CheckerSummary {
 }
 
 // Err summarizes the violations as an error, or nil if none occurred.
+// When the flight recorder was enabled the error carries the transcript
+// captured at the first violation, so a random-tester failure reads as
+// a protocol trace instead of a bare invariant message.
 func (c *Checker) Err() error {
 	if len(c.violations) == 0 {
 		return nil
 	}
-	return fmt.Errorf("checker: %d violation(s), first: %s", len(c.violations), c.violations[0])
+	err := fmt.Errorf("checker: %d violation(s), first: %s", len(c.violations), c.violations[0])
+	if c.transcript != "" {
+		err = fmt.Errorf("%w\nflight transcript at first violation (last %d records):\n%s",
+			err, violationTranscriptCap, c.transcript)
+	}
+	return err
 }
 
+// Transcript returns the flight-recorder tail captured at the first
+// violation (empty when none occurred or the recorder was disabled).
+func (c *Checker) Transcript() string { return c.transcript }
+
 func (c *Checker) fail(format string, args ...interface{}) {
+	if len(c.violations) == 0 {
+		// Auto-dump on the first violation: snapshot the flight tail
+		// now, while the records leading up to the break are still in
+		// the rings.
+		c.transcript = c.sys.flightTail(violationTranscriptCap)
+	}
 	if len(c.violations) < MaxViolations {
 		c.violations = append(c.violations, fmt.Sprintf(format, args...))
 	}

@@ -50,27 +50,19 @@ func (s *System) diagnose() string {
 		}
 		sort.Slice(entries, func(i, j int) bool { return entries[i].region < entries[j].region })
 		for _, e := range entries {
-			region := uint64(e.region)
 			if !e.busy {
 				continue
 			}
 			busy++
-			fmt.Fprintf(&b, "  dir %2d region %d: busy sharers=%v owners=%v queue=%d",
-				d.node, region, e.sharers, e.owners, len(e.queue))
-			if e.txn != nil {
-				fmt.Fprintf(&b, " txn=%d (%s) waiting=%d", e.txn.id, e.txn.req.Type, e.txn.waiting)
-			} else {
-				fmt.Fprintf(&b, " awaiting unblock")
-			}
-			if e.pendingUnblock {
-				fmt.Fprintf(&b, " (unblock parked)")
-			}
-			fmt.Fprintf(&b, "\n")
+			fmt.Fprintf(&b, "  %s\n", dirEntryLine(d, e))
 		}
 	}
 	if busy == 0 {
 		fmt.Fprintf(&b, "  no busy directory entries\n")
 	}
 	fmt.Fprintf(&b, "  barrier: %d arrived, %d cores done\n", s.barrierArrived, s.coresDone)
+	if tail := s.flightTail(stallTranscriptCap); tail != "" {
+		fmt.Fprintf(&b, "flight transcript (last %d records):\n%s", stallTranscriptCap, tail)
+	}
 	return b.String()
 }

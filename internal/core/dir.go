@@ -7,6 +7,7 @@ import (
 	"protozoa/internal/engine"
 	"protozoa/internal/mem"
 	"protozoa/internal/obs"
+	"protozoa/internal/obs/flight"
 )
 
 // dirSlice is one tile's slice of the shared inclusive L2 with its
@@ -86,6 +87,7 @@ type dirEntry struct {
 	queue          []*Msg
 	pendingUnblock bool   // 3-hop: requester unblocked before the probes retired
 	auditFrom      string // state at transaction activation (transition audit)
+	auditFromCode  uint8  // same snapshot as a flight state code (flight recorder)
 
 	touch uint64 // LRU stamp for finite-L2 inclusion eviction
 }
@@ -299,6 +301,9 @@ func (d *dirSlice) evictLRURegion() {
 			Node: int16(d.node), Peer: -1, Region: uint64(victim.region),
 		})
 	}
+	if d.tl.flight != nil {
+		d.tl.flightDir(flight.KindTxnStart, victim.region, 0, -1, uint8(MsgRecall))
+	}
 	req := d.tl.newMsg()
 	req.Type = MsgRecall
 	req.Dst = d.node
@@ -395,8 +400,14 @@ func (d *dirSlice) recvRequest(m *Msg) {
 	if lt := d.sys.latFor(m.Src); lt != nil {
 		lt.DirAccept(m.Src, uint64(d.tl.eng.Now()))
 	}
+	if d.tl.flight != nil {
+		d.tl.flightDir(flight.KindDirAccept, m.Region, 0, m.Src, uint8(m.Type))
+	}
 	e := d.entry(m.Region)
 	if e.busy {
+		if d.tl.flight != nil {
+			d.tl.flightDir(flight.KindQueuePark, m.Region, 0, m.Src, uint8(m.Type))
+		}
 		e.queue = append(e.queue, m)
 		return
 	}
@@ -416,6 +427,9 @@ func (d *dirSlice) activate(e *dirEntry, m *Msg) {
 			Node: int16(d.node), Peer: -1, Region: uint64(m.Region),
 		})
 	}
+	if d.tl.flight != nil {
+		d.tl.flightDir(flight.KindTxnStart, m.Region, 0, m.Src, uint8(m.Type))
+	}
 	lat := d.sys.cfg.L2Lat
 	if !e.memTouched {
 		e.memTouched = true
@@ -434,6 +448,10 @@ func (d *dirSlice) process(e *dirEntry, m *Msg) {
 	}
 	if d.tl.transitions != nil {
 		e.auditFrom = d.dirState(e)
+	}
+	if d.tl.flight != nil {
+		e.auditFromCode = d.flightDirCode(e)
+		d.tl.flightDir(flight.KindTxnProcess, m.Region, 0, m.Src, uint8(m.Type))
 	}
 	// Figure 11 accounting: record the sharer mix every time a request
 	// reaches an entry in Owned state.
@@ -529,6 +547,13 @@ func (d *dirSlice) recvResponse(m *Msg) {
 			d.tl.recordTransition("Dir", from, m.Type.String(), d.dirState(e))
 		}
 	}
+	// Spontaneous writebacks mutate the vectors outside any transaction;
+	// snapshot the state code so the edge they cause is recorded too.
+	var wbFromCode uint8
+	wbFlight := d.tl.flight != nil && m.TxnID == 0
+	if wbFlight {
+		wbFromCode = d.flightDirCode(e)
+	}
 	if !m.StillSharer {
 		d.removeSharer(e, m.Src)
 	}
@@ -537,6 +562,16 @@ func (d *dirSlice) recvResponse(m *Msg) {
 	}
 	if evictAudit != nil {
 		evictAudit()
+	}
+	if wbFlight {
+		if to := d.flightDirCode(e); to != wbFromCode {
+			d.tl.flight.Record(flight.Record{
+				Cycle: d.tl.eng.Now(), Tile: int16(d.tl.id),
+				Kind: flight.KindDirState, Sub: uint8(m.Type),
+				Src: int16(m.Src), Dst: -1, Req: -1,
+				Region: uint64(e.region), From: wbFromCode, To: to,
+			})
+		}
 	}
 	if m.TxnID != 0 && e.txn != nil && m.TxnID == e.txn.id {
 		if m.ForwardedData {
@@ -551,6 +586,9 @@ func (d *dirSlice) recvResponse(m *Msg) {
 				// Recall transactions carry Src=0, not a requester core.
 				if lt := d.sys.latFor(req.Src); lt != nil {
 					lt.LastAck(req.Src, uint64(d.tl.eng.Now()))
+				}
+				if d.tl.flight != nil {
+					d.tl.flightDir(flight.KindTxnLastAck, e.region, m.TxnID, req.Src, uint8(req.Type))
 				}
 			}
 			d.finish(e, req, forwarded)
@@ -572,6 +610,9 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 				Cycle: d.tl.eng.Now(), Kind: obs.KindTxnEnd, Sub: uint8(MsgRecall),
 				Node: int16(d.node), Peer: -1, Region: uint64(e.region),
 			})
+		}
+		if d.tl.flight != nil {
+			d.tl.flightDir(flight.KindTxnEnd, e.region, 0, -1, uint8(MsgRecall))
 		}
 		if len(e.queue) > 0 {
 			e.txn = nil
@@ -655,6 +696,16 @@ func (d *dirSlice) finish(e *dirEntry, m *Msg, forwarded bool) {
 	if d.tl.transitions != nil {
 		d.tl.recordTransition("Dir", e.auditFrom, m.Type.String(), d.dirState(e))
 	}
+	if d.tl.flight != nil {
+		if to := d.flightDirCode(e); to != e.auditFromCode {
+			d.tl.flight.Record(flight.Record{
+				Cycle: d.tl.eng.Now(), Tile: int16(d.tl.id),
+				Kind: flight.KindDirState, Sub: uint8(m.Type),
+				Src: int16(d.node), Dst: -1, Req: int16(req),
+				Region: uint64(e.region), From: e.auditFromCode, To: to,
+			})
+		}
+	}
 	// The region stays busy until the requester's UNBLOCK confirms the
 	// fill is installed; only then may the next transaction's probes
 	// fly, so a probe can never overtake the data it conflicts with.
@@ -676,6 +727,9 @@ func (d *dirSlice) unblock(e *dirEntry) {
 			Node: int16(d.node), Peer: -1, Region: uint64(e.region),
 		})
 	}
+	if d.tl.flight != nil {
+		d.tl.flightDir(flight.KindTxnEnd, e.region, 0, -1, flight.SubNone)
+	}
 	if d.sys.obs != nil {
 		d.sys.obs.OnTxnEnd(e.region)
 	}
@@ -691,6 +745,9 @@ func (d *dirSlice) unblock(e *dirEntry) {
 // in place so its backing array is reused for the region's lifetime.
 func (d *dirSlice) popQueue(e *dirEntry) {
 	next := e.queue[0]
+	if d.tl.flight != nil {
+		d.tl.flightDir(flight.KindQueueUnpark, e.region, 0, next.Src, uint8(next.Type))
+	}
 	n := copy(e.queue, e.queue[1:])
 	e.queue[n] = nil
 	e.queue = e.queue[:n]

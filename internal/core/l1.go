@@ -9,6 +9,7 @@ import (
 	"protozoa/internal/engine"
 	"protozoa/internal/mem"
 	"protozoa/internal/obs"
+	"protozoa/internal/obs/flight"
 	"protozoa/internal/predictor"
 )
 
@@ -228,16 +229,40 @@ func (l *l1Ctrl) resolve(addr mem.Addr, mode accessMode, pc, storeVal uint64, do
 	audit(event)
 }
 
+// nopAudit is the shared no-op closure returned when every audit
+// consumer is disabled (no per-call allocation on the hot path).
+var nopAudit = func(string) {}
+
 // auditFrom snapshots the region state and returns a closure that
-// records the transition once the event has been applied. A no-op
-// when transition auditing is disabled.
+// records the transition once the event has been applied — to the
+// transition-audit table, the flight recorder, or both. A no-op when
+// neither is enabled.
 func (l *l1Ctrl) auditFrom(region mem.RegionID) func(event string) {
-	if l.tl.transitions == nil {
-		return func(string) {}
+	if l.tl.transitions == nil && l.tl.flight == nil {
+		return nopAudit
 	}
-	from := l.regionState(region)
+	var from string
+	if l.tl.transitions != nil {
+		from = l.regionState(region)
+	}
+	var fromCode uint8
+	if l.tl.flight != nil {
+		fromCode = l.flightStateCode(region)
+	}
 	return func(event string) {
-		l.tl.recordTransition("L1", from, event, l.regionState(region))
+		if l.tl.transitions != nil {
+			l.tl.recordTransition("L1", from, event, l.regionState(region))
+		}
+		if f := l.tl.flight; f != nil {
+			if to := l.flightStateCode(region); to != fromCode {
+				f.Record(flight.Record{
+					Cycle: l.tl.eng.Now(), Tile: int16(l.tl.id),
+					Kind: flight.KindL1State, Sub: causeCode(event),
+					Src: int16(l.id), Dst: -1, Req: int16(l.id),
+					Region: uint64(region), From: fromCode, To: to,
+				})
+			}
+		}
 	}
 }
 
@@ -256,6 +281,14 @@ func (l *l1Ctrl) startMiss(ms mshr, t MsgType) {
 		l.tl.rec.Record(obs.Event{
 			Cycle: ms.issuedAt, Kind: obs.KindMissStart, Sub: uint8(t),
 			Node: int16(l.id), Peer: -1, Region: uint64(ms.region),
+		})
+	}
+	if f := l.tl.flight; f != nil {
+		f.Record(flight.Record{
+			Cycle: ms.issuedAt, Tile: int16(l.tl.id),
+			Kind: flight.KindMissStart, Sub: uint8(t),
+			Src: int16(l.id), Dst: int16(l.sys.home(ms.region)), Req: int16(l.id),
+			Region: uint64(ms.region), R: ms.want,
 		})
 	}
 	m := l.tl.newMsg()
@@ -282,6 +315,14 @@ func (l *l1Ctrl) retireMiss(ms *mshr) {
 		l.tl.rec.Record(obs.Event{
 			Cycle: now, Kind: obs.KindMissEnd,
 			Node: int16(l.id), Peer: -1, Region: uint64(ms.region),
+		})
+	}
+	if f := l.tl.flight; f != nil {
+		f.Record(flight.Record{
+			Cycle: now, Tile: int16(l.tl.id),
+			Kind: flight.KindMissEnd, Sub: flight.SubNone,
+			Src: int16(l.id), Dst: -1, Req: int16(l.id),
+			Region: uint64(ms.region),
 		})
 	}
 }

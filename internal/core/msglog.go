@@ -6,12 +6,20 @@ import (
 
 	"protozoa/internal/engine"
 	"protozoa/internal/mem"
+	"protozoa/internal/obs/flight"
 )
+
+// The message log is a view over the flight recorder: EnableMessageLog
+// arms the recorder (sized in records to hold at least the requested
+// message count) and MessageLog reconstructs MsgEvents from the merged
+// msg-send records. Routing the legacy log through the sharded flight
+// rings is what makes it legal under PDES — the old implementation was
+// a single global ring, which assumed one global event order.
 
 // MsgEvent is one logged coherence message.
 type MsgEvent struct {
 	Cycle engine.Cycle
-	Msg   Msg // copied at send time
+	Msg   Msg // reconstructed from the flight record (no payload words)
 }
 
 // String renders the event like the paper's transaction diagrams:
@@ -40,53 +48,56 @@ func (e MsgEvent) String() string {
 	return b.String()
 }
 
-// msgLog is a bounded ring of message events.
-type msgLog struct {
-	events []MsgEvent
-	next   int
-	filled bool
-}
-
-func (l *msgLog) record(at engine.Cycle, m *Msg) {
-	ev := MsgEvent{Cycle: at, Msg: *m}
-	if len(l.events) < cap(l.events) {
-		l.events = append(l.events, ev)
-		return
-	}
-	l.events[l.next] = ev
-	l.next = (l.next + 1) % len(l.events)
-	l.filled = true
-}
-
-func (l *msgLog) snapshot() []MsgEvent {
-	if !l.filled {
-		out := make([]MsgEvent, len(l.events))
-		copy(out, l.events)
-		return out
-	}
-	out := make([]MsgEvent, 0, len(l.events))
-	out = append(out, l.events[l.next:]...)
-	out = append(out, l.events[:l.next]...)
-	return out
-}
-
 // EnableMessageLog starts recording the most recent capacity messages
 // sent on the mesh — the protocol-transcript facility used by the
 // golden flow tests and protozoa-sim's -msglog flag. Call before Run.
+// Implemented on the flight recorder's per-tile rings, so it works
+// under PDES with worker-count-independent output. If the flight
+// recorder is already enabled its sizing wins.
 func (s *System) EnableMessageLog(capacity int) {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	s.log = &msgLog{events: make([]MsgEvent, 0, capacity)}
+	s.msgCap = capacity
+	s.EnableFlightRecorder(capacity * flightRecordsPerMsg)
+}
+
+// msgEvent rebuilds a MsgEvent from a msg-send flight record. Payload
+// word values are not retained by the recorder, only the Valid/Dirty
+// masks — every transcript consumer keys on types, routes, ranges, and
+// flags.
+func msgEvent(r flight.Record) MsgEvent {
+	return MsgEvent{
+		Cycle: r.Cycle,
+		Msg: Msg{
+			Type: MsgType(r.Sub), Src: int(r.Src), Dst: int(r.Dst),
+			Region: mem.RegionID(r.Region), R: r.R,
+			Valid: r.Valid, Dirty: r.Dirty,
+			Requester: int(r.Req), TxnID: r.Txn,
+			StillSharer:   r.Flags&flight.FlagStillSharer != 0,
+			StillOwner:    r.Flags&flight.FlagStillOwner != 0,
+			Direct:        r.Flags&flight.FlagDirect != 0,
+			ForwardedData: r.Flags&flight.FlagForwarded != 0,
+		},
+	}
 }
 
 // MessageLog returns the recorded messages in send order (oldest
 // first, bounded by the enabled capacity).
 func (s *System) MessageLog() []MsgEvent {
-	if s.log == nil {
+	if s.msgCap == 0 || s.flight == nil {
 		return nil
 	}
-	return s.log.snapshot()
+	var out []MsgEvent
+	for _, r := range s.flight.Records() {
+		if r.Kind == flight.KindMsgSend {
+			out = append(out, msgEvent(r))
+		}
+	}
+	if len(out) > s.msgCap {
+		out = out[len(out)-s.msgCap:]
+	}
+	return out
 }
 
 // MessagesForRegion filters the log to one region's transcript.

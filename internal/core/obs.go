@@ -324,6 +324,17 @@ func (s *System) EnableMetrics() *obs.Registry {
 			}
 			return float64(n)
 		})
+	// Flight-recorder gauges read 0 until EnableFlightRecorder (or the
+	// stall watchdog) runs, same nil-guard discipline as above.
+	r.Register("flight_dropped", "flight records evicted by ring wrap",
+		func() float64 {
+			if s.flight == nil {
+				return 0
+			}
+			return float64(s.flight.Dropped())
+		})
+	r.Register("flight_stalled_txns", "transactions the stall watchdog has flagged",
+		func() float64 { return float64(len(s.stalls)) })
 	s.metrics = r
 	if s.timelineInterval == 0 {
 		s.EnableTimeline(0)

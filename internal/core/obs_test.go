@@ -6,14 +6,18 @@ import (
 	"testing"
 
 	"protozoa/internal/engine"
+	"protozoa/internal/mem"
 	"protozoa/internal/obs"
+	"protozoa/internal/obs/flight"
 	"protozoa/internal/trace"
 )
 
-// TestMsgLogCopiesPooledMsg proves the message log survives message
-// recycling: MsgEvent embeds a copy made at record time, so mutating
-// (or pool-zeroing) the original afterwards must not change the log.
-func TestMsgLogCopiesPooledMsg(t *testing.T) {
+// TestFlightRecordsOutlivePooledMsg proves flight records (and the
+// message-log view over them) survive message recycling: every field a
+// record keeps is copied out at record time, so pool-zeroing the
+// message and scribbling fresh fields over the same backing struct must
+// not change the transcript.
+func TestFlightRecordsOutlivePooledMsg(t *testing.T) {
 	cfg := testConfig(MESI, 1)
 	sys, err := NewSystem(cfg, []trace.Stream{trace.NewSliceStream(nil)})
 	if err != nil {
@@ -26,8 +30,12 @@ func TestMsgLogCopiesPooledMsg(t *testing.T) {
 	m.Src = 0
 	m.Dst = 0
 	m.Region = 7
+	m.R = mem.Range{Start: 1, End: 3}
+	m.TxnID = 55
+	m.StillOwner = true
+	m.Valid = 0xe
 	m.Words[3] = 0xdead
-	sys.log.record(42, m)
+	sys.tiles[0].flightMsg(flight.KindMsgSend, 42, m)
 
 	// The message dies: the pool zeroes it for reuse, and the next
 	// taker scribbles fresh fields over the same backing struct.
@@ -38,15 +46,33 @@ func TestMsgLogCopiesPooledMsg(t *testing.T) {
 	}
 	reused.Type = MsgAck
 	reused.Region = 99
+	reused.R = mem.Range{Start: 7, End: 7}
+	reused.TxnID = 1
+	reused.Valid = 0x1
 	reused.Words[3] = 0xbeef
 
 	got := sys.MessageLog()
 	if len(got) != 1 {
-		t.Fatalf("%d logged events, want 1", len(got))
+		t.Fatalf("%d logged events, want 1 (the free record is not a send)", len(got))
 	}
 	e := got[0]
-	if e.Cycle != 42 || e.Msg.Type != MsgGetX || e.Msg.Region != 7 || e.Msg.Words[3] != 0xdead {
+	if e.Cycle != 42 || e.Msg.Type != MsgGetX || e.Msg.Region != 7 ||
+		e.Msg.R != (mem.Range{Start: 1, End: 3}) || e.Msg.TxnID != 55 ||
+		!e.Msg.StillOwner || e.Msg.Valid != 0xe {
 		t.Errorf("logged copy mutated by pool recycling: %+v", e)
+	}
+	// Records keep the Valid/Dirty masks, not the word values —
+	// reconstruction never aliases (or even sees) the recycled payload.
+	if e.Msg.Words[3] != 0 {
+		t.Errorf("reconstructed event carries payload words: %#x", e.Msg.Words[3])
+	}
+	// The raw transcript saw both lifecycle steps with pre-free fields.
+	recs := sys.FlightRecords()
+	if len(recs) != 2 || recs[0].Kind != flight.KindMsgSend || recs[1].Kind != flight.KindMsgFree {
+		t.Fatalf("flight transcript = %+v, want send+free", recs)
+	}
+	if recs[1].Region != 7 || MsgType(recs[1].Sub) != MsgGetX {
+		t.Errorf("free record aliased the recycled message: %+v", recs[1])
 	}
 }
 

@@ -364,13 +364,10 @@ func (s *System) pdesCheck() error {
 		return fmt.Errorf("core: parallel run needs positive NoC lookahead, got %d", W)
 	}
 	if s.obs != nil {
-		return fmt.Errorf("core: workers > 0 is incompatible with a correctness observer (needs a global event order)")
-	}
-	if s.log != nil {
-		return fmt.Errorf("core: workers > 0 is incompatible with the message log (global ring); run with workers 0")
+		return fmt.Errorf("core: workers > 0 is incompatible with a correctness observer (its invariant checks need one global event order); run with workers 0")
 	}
 	if s.cfg.Noc.ModelContention {
-		return fmt.Errorf("core: workers > 0 is incompatible with NoC contention modelling (shared link state)")
+		return fmt.Errorf("core: workers > 0 is incompatible with NoC contention modelling (links are shared state across tiles); run with workers 0")
 	}
 	return nil
 }
@@ -389,6 +386,7 @@ func (s *System) pdesPending() int {
 // view, append the sample, and feed the metrics registry and live hook.
 func (s *System) samplePDES(cycle engine.Cycle) {
 	s.mergeShardStats()
+	s.checkStalls(cycle)
 	s.timeline = append(s.timeline, TimelineSample{
 		Cycle:    cycle,
 		Accesses: s.st.Accesses,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"testing"
 
@@ -52,10 +53,20 @@ func runPDESWorkload(t *testing.T, p Protocol, workers int) *System {
 	sys.EnableLatencyBreakdown()
 	sys.EnableAttribution()
 	sys.EnableTransitionAudit()
+	sys.EnableFlightRecorder(1 << 16)
 	if err := sys.Run(); err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
 	}
 	return sys
+}
+
+func flightLogBytes(t *testing.T, sys *System) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sys.WriteFlightLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }
 
 // TestPDESWorkerCountInvariance runs the window loop at 1, 2, and 4
@@ -77,6 +88,12 @@ func TestPDESWorkerCountInvariance(t *testing.T) {
 				assertJSONEqual(t, w, "attribution", base.Attribution().Summarize(), got.Attribution().Summarize())
 				if bt, gt := base.TransitionTable(), got.TransitionTable(); bt != gt {
 					t.Errorf("transition table diverges between workers=1 and workers=%d:\n%s\n---\n%s", w, bt, gt)
+				}
+				// The serialized flight log — header and every record —
+				// must be byte-identical, not just semantically equal.
+				if bf, gf := flightLogBytes(t, base), flightLogBytes(t, got); !bytes.Equal(bf, gf) {
+					t.Errorf("flight log diverges between workers=1 and workers=%d (%d vs %d bytes)",
+						w, len(bf), len(gf))
 				}
 			}
 		})
@@ -120,8 +137,10 @@ func TestPDESRejectsGlobalOrderHooks(t *testing.T) {
 	if err := build(nil, func(s *System) { s.SetObserver(nopObserver{}) }); err == nil {
 		t.Error("observer accepted under PDES")
 	}
-	if err := build(nil, func(s *System) { s.EnableMessageLog(8) }); err == nil {
-		t.Error("message log accepted under PDES")
+	// The message log rides the per-tile flight rings now, so it no
+	// longer forces a global event order and must run under PDES.
+	if err := build(nil, func(s *System) { s.EnableMessageLog(8) }); err != nil {
+		t.Errorf("message log rejected under PDES: %v", err)
 	}
 	if err := build(func(c *Config) { c.Noc.ModelContention = true }, nil); err == nil {
 		t.Error("NoC contention accepted under PDES")

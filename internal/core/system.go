@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"protozoa/internal/cache"
 	"protozoa/internal/engine"
@@ -9,6 +10,7 @@ import (
 	"protozoa/internal/noc"
 	"protozoa/internal/obs"
 	"protozoa/internal/obs/attrib"
+	"protozoa/internal/obs/flight"
 	"protozoa/internal/obs/selfprof"
 	"protozoa/internal/predictor"
 	"protozoa/internal/stats"
@@ -135,7 +137,6 @@ type System struct {
 	cpus []*cpu
 
 	obs Observer
-	log *msgLog
 
 	// tiles are the PDES partitions (one per core: core + L1 + L2/dir
 	// slice + router). In the legacy single-queue mode every tile
@@ -150,6 +151,18 @@ type System struct {
 	lat     *obs.LatencyBreakdown
 	metrics *obs.Registry
 	attrib  *attrib.Tracker
+
+	// flight is the flight recorder (EnableFlightRecorder): per-tile
+	// record rings merged deterministically on read. msgCap, when
+	// nonzero, bounds the legacy MessageLog view reconstructed from the
+	// flight transcript. The stall* fields belong to the watchdog
+	// (EnableStallWatchdog), checked on timeline ticks.
+	flight         *flight.Recorder
+	msgCap         int
+	stallThreshold engine.Cycle
+	stallOut       io.Writer
+	stallSeen      map[stallKey]bool
+	stalls         []StallReport
 
 	// selfProf observes the simulator itself (EnableSelfProf): PDES
 	// round telemetry and engine queue introspection. nil = disabled.
@@ -228,6 +241,7 @@ type tile struct {
 	// Per-tile observability shards (nil/shared depending on mode; set
 	// by the Enable* methods).
 	rec         *obs.Recorder
+	flight      *flight.Ring
 	attrib      *attrib.Tracker
 	prof        *selfprof.TileShard
 	transitions map[Transition]uint64
@@ -268,6 +282,11 @@ func (t *tile) newMsg() *Msg {
 // from the pool that allocated them — pools only recycle memory, they
 // carry no identity.
 func (t *tile) freeMsg(m *Msg) {
+	// The free record is taken before the message is zeroed — it copies
+	// every field it keeps, so no record ever aliases a recycled Msg.
+	if t.flight != nil {
+		t.flightMsg(flight.KindMsgFree, t.eng.Now(), m)
+	}
 	*m = Msg{sys: t.sys}
 	t.pool.free = append(t.pool.free, m)
 }
@@ -460,8 +479,8 @@ func (s *System) home(r mem.RegionID) int {
 func (t *tile) send(m *Msg) {
 	s := t.sys
 	t.st.AddControl(m.Class(), CtrlBytes)
-	if s.log != nil {
-		s.log.record(t.eng.Now(), m)
+	if t.flight != nil {
+		t.flightMsg(flight.KindMsgSend, t.eng.Now(), m)
 	}
 	if t.rec != nil {
 		t.rec.Record(obs.Event{
@@ -496,6 +515,9 @@ func (t *tile) send(m *Msg) {
 // pool here.
 func (s *System) deliver(m *Msg) {
 	t := s.tiles[m.Dst]
+	if t.flight != nil {
+		t.flightMsg(flight.KindMsgDeliver, t.eng.Now(), m)
+	}
 	if t.rec != nil {
 		t.rec.Record(obs.Event{
 			Cycle: t.eng.Now(), Kind: obs.KindMsgDeliver, Sub: uint8(m.Type),
